@@ -1,0 +1,130 @@
+// Command meshgen generates the bundled meshes and their coarse-grid
+// hierarchies and reports their statistics (the Figure 7 and Figure 9
+// artifacts). With -obj it writes Wavefront OBJ files of the boundary of
+// every grid, one file per level, for visual inspection.
+//
+// Usage:
+//
+//	meshgen [-problem spheres|cube|thinslab] [-size k] [-obj prefix]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"prometheus/internal/core"
+	"prometheus/internal/mesh"
+	"prometheus/internal/meshio"
+	"prometheus/internal/problems"
+)
+
+func main() {
+	problem := flag.String("problem", "spheres", "problem: spheres, cube, thinslab")
+	size := flag.Int("size", 1, "refinement parameter")
+	objPrefix := flag.String("obj", "", "write boundary OBJ files with this path prefix")
+	writePath := flag.String("write", "", "write the fine mesh in the flat meshio format to this path")
+	vtkPrefix := flag.String("vtk", "", "write VTK files of every grid level with this path prefix")
+	flag.Parse()
+
+	var m *mesh.Mesh
+	switch *problem {
+	case "spheres":
+		m = problems.NewSpheresConfig(problems.SpheresConfig{
+			Layers: 5, ElemsPerLayer: *size, CoreElems: 2 * *size, OuterElems: 2 * *size,
+		}).Mesh
+	case "cube":
+		n := 4 * *size
+		m = mesh.StructuredHex(n, n, n, 1, 1, 1, nil)
+	case "thinslab":
+		m = problems.ThinSlab(8**size, 8**size, 0.35)
+	default:
+		fmt.Fprintf(os.Stderr, "meshgen: unknown problem %q\n", *problem)
+		os.Exit(2)
+	}
+
+	if *writePath != "" {
+		f, err := os.Create(*writePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := meshio.Write(f, m); err != nil {
+			fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d vertices, %d elements)\n", *writePath, m.NumVerts(), m.NumElems())
+	}
+
+	h, err := core.Coarsen(m, core.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-6s %10s %10s %8s %8s %6s\n", "level", "vertices", "elements", "ratio", "minQ", "lost")
+	counts, ratios := h.VertexReduction()
+	for l, g := range h.Grids {
+		ratio := "-"
+		if l > 0 {
+			ratio = fmt.Sprintf("%.3f", ratios[l-1])
+		}
+		minQ, _ := g.Mesh.Quality()
+		fmt.Printf("%-6d %10d %10d %8s %8.2g %6d\n",
+			l, counts[l], g.Mesh.NumElems(), ratio, minQ, g.Lost)
+	}
+	if *vtkPrefix != "" {
+		for l, g := range h.Grids {
+			name := fmt.Sprintf("%s-level%d.vtk", *vtkPrefix, l)
+			f, err := os.Create(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
+				os.Exit(1)
+			}
+			rank := make([]float64, g.Mesh.NumVerts())
+			for v, r := range g.Class.Rank {
+				rank[v] = float64(r)
+			}
+			err = meshio.WriteVTK(f, g.Mesh, map[string][]float64{"class": rank})
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", name)
+		}
+	}
+	if *objPrefix == "" {
+		return
+	}
+	for l, g := range h.Grids {
+		name := fmt.Sprintf("%s-level%d.obj", *objPrefix, l)
+		if err := writeOBJ(name, g.Mesh); err != nil {
+			fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", name)
+	}
+}
+
+// writeOBJ dumps the boundary facets of a mesh as a Wavefront OBJ surface.
+func writeOBJ(path string, m *mesh.Mesh) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, p := range m.Coords {
+		fmt.Fprintf(w, "v %g %g %g\n", p.X, p.Y, p.Z)
+	}
+	for _, fc := range m.BoundaryFacets() {
+		fmt.Fprint(w, "f")
+		for _, v := range fc.Verts {
+			fmt.Fprintf(w, " %d", v+1)
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}

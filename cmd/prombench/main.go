@@ -1,0 +1,151 @@
+// Command prombench regenerates the tables and figures of the paper's
+// evaluation (section 7) on laptop-scale reproductions of the model
+// problem. Run with -exp all (default) for the full suite or name a single
+// experiment; -full enlarges the scaled series and uses the paper's ten
+// load steps in the nonlinear study.
+//
+// Usage:
+//
+//	prombench [-exp name] [-full] [-csv path]
+//
+// Experiments: table1, table2, fig7, fig9, fig10, fig11, fig12, fig13,
+// thinbody, ordering, parmis, amg, phases, headline, ablations, all.
+// -csv additionally writes the scaled series as CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prometheus/internal/experiments"
+	"prometheus/internal/multigrid"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see package doc)")
+	full := flag.Bool("full", false, "run the larger series and full load schedule")
+	csvPath := flag.String("csv", "", "also write the scaled series as CSV to this path")
+	flag.Parse()
+
+	maxK := 2
+	steps := 4
+	nlK := 1
+	if *full {
+		maxK = 3
+		steps = 10
+		nlK = 2
+	}
+
+	w := os.Stdout
+	var runs []*experiments.LinearRun
+	needSeries := func() error {
+		if runs != nil {
+			return nil
+		}
+		var err error
+		runs, err = experiments.RunSeries(maxK, multigrid.Options{})
+		return err
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			return experiments.Table1(w)
+		case "table2":
+			if err := needSeries(); err != nil {
+				return err
+			}
+			return experiments.Table2(w, runs)
+		case "fig7":
+			return experiments.Fig7(w)
+		case "fig9":
+			return experiments.Fig9(w)
+		case "fig10":
+			if err := needSeries(); err != nil {
+				return err
+			}
+			return experiments.Fig10(w, runs)
+		case "fig11":
+			if err := needSeries(); err != nil {
+				return err
+			}
+			return experiments.Fig11(w, runs)
+		case "fig12":
+			if err := needSeries(); err != nil {
+				return err
+			}
+			return experiments.Fig12(w, runs)
+		case "fig13":
+			return experiments.Fig13(w, nlK, steps)
+		case "thinbody":
+			return experiments.ThinBody(w)
+		case "ordering":
+			return experiments.Ordering(w)
+		case "parmis":
+			return experiments.ParallelMISStudy(w)
+		case "amg":
+			return experiments.AMGCompare(w)
+		case "phases":
+			return experiments.Amortization(w)
+		case "headline":
+			if err := needSeries(); err != nil {
+				return err
+			}
+			return experiments.Headline(w, runs)
+		case "ablations":
+			if err := experiments.AblationTOL(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			if err := experiments.AblationReclassify(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			if err := experiments.AblationBlocks(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			if err := experiments.AblationCycle(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return experiments.AblationKrylov(w)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "fig9", "fig7", "table2", "fig10", "fig11",
+			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations"}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "prombench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *csvPath != "" {
+		if err := needSeries(); err != nil {
+			fmt.Fprintf(os.Stderr, "prombench: csv: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prombench: csv: %v\n", err)
+			os.Exit(1)
+		}
+		err = experiments.WriteSeriesCSV(f, runs)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prombench: csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,152 @@
+// Command promsolve builds one of the bundled problems, runs the solver
+// once, and prints the solve breakdown — the "one linear solve" experiment
+// of section 7.1 in miniature, or the full nonlinear crush with -nonlinear.
+//
+// Usage:
+//
+//	promsolve [-problem spheres|cube|cantilever] [-size k] [-nonlinear]
+//	          [-steps n] [-rtol tol] [-cycle fmg|v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	prometheus "prometheus"
+	"prometheus/internal/experiments"
+	"prometheus/internal/geom"
+	"prometheus/internal/material"
+	"prometheus/internal/meshio"
+	"prometheus/internal/problems"
+)
+
+func main() {
+	problem := flag.String("problem", "spheres", "problem: spheres, cube, cantilever")
+	meshFile := flag.String("mesh", "", "solve on a mesh file (flat meshio format) instead of a generated problem; clamps min-z, loads max-z")
+	size := flag.Int("size", 1, "refinement parameter")
+	nonlinear := flag.Bool("nonlinear", false, "run the Newton crush instead of one linear solve")
+	steps := flag.Int("steps", 10, "load steps for -nonlinear")
+	rtol := flag.Float64("rtol", 1e-4, "linear relative tolerance")
+	cycle := flag.String("cycle", "fmg", "multigrid cycle: fmg or v")
+	flag.Parse()
+
+	opts := prometheus.Options{RTol: *rtol}
+	if *cycle == "v" {
+		opts.MG.Cycle = prometheus.VCycle
+	}
+
+	var m *prometheus.Mesh
+	var cons *prometheus.Constraints
+	var models []prometheus.Model
+	var load []float64
+	hardMat := -1
+
+	if *meshFile != "" {
+		f, err := os.Open(*meshFile)
+		fail(err)
+		mm, err := meshio.Read(f)
+		f.Close()
+		fail(err)
+		m = mm
+		models = []prometheus.Model{prometheus.LinearElastic{E: 1, Nu: 0.3}}
+		cons = prometheus.NewConstraints()
+		load = make([]float64, m.NumDOF())
+		box := geom.NewAABB(m.Coords)
+		for v, pt := range m.Coords {
+			if pt.Z < box.Min.Z+1e-9 {
+				cons.FixVert(v, 0, 0, 0)
+			}
+			if pt.Z > box.Max.Z-1e-9 {
+				load[3*v+2] = -0.001
+			}
+		}
+	} else {
+		switch *problem {
+		case "spheres":
+			cfg := problems.SpheresConfig{
+				Layers: 5, ElemsPerLayer: *size, CoreElems: 2 * *size, OuterElems: 2 * *size,
+			}
+			s := problems.NewSpheresConfig(cfg)
+			s.Models[material.MatHard] = material.J2Plasticity{
+				E: 1, Nu: 0.3, SigmaY: experiments.ScaledYieldStress(cfg), H: 0.002,
+			}
+			m, cons, models = s.Mesh, s.Cons, s.Models
+			hardMat = s.HardMat
+		case "cube":
+			c := problems.NewCube(4**size, prometheus.LinearElastic{E: 1, Nu: 0.3}, -0.001)
+			m, cons, models, load = c.Mesh, c.Cons, c.Models, c.Load
+		case "cantilever":
+			c := problems.NewCantilever(6**size, *size, *size, 6, prometheus.LinearElastic{E: 1, Nu: 0.3}, -0.0001)
+			m, cons, models, load = c.Mesh, c.Cons, c.Models, c.Load
+		default:
+			fmt.Fprintf(os.Stderr, "promsolve: unknown problem %q\n", *problem)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("problem %s: %d vertices, %d elements, %d dof\n",
+		*problem, m.NumVerts(), m.NumElems(), m.NumDOF())
+
+	t0 := time.Now()
+	solver, err := prometheus.NewSolver(m, cons, opts)
+	fail(err)
+	counts, ratios := solver.VertexReduction()
+	fmt.Printf("mesh setup: %v, %d levels, vertices per level %v (ratios %v)\n",
+		time.Since(t0).Round(time.Millisecond), solver.NumLevels(), counts, fmtRatios(ratios))
+
+	bbar := *problem == "spheres"
+	p := prometheus.NewProblem(m, models, bbar)
+
+	if *nonlinear {
+		t1 := time.Now()
+		_, stats, err := solver.SolveNonlinear(p, prometheus.NewtonConfig{Steps: *steps}, hardMat)
+		fail(err)
+		fmt.Printf("nonlinear solve: %v\n", time.Since(t1).Round(time.Millisecond))
+		for i, ss := range stats.Steps {
+			fmt.Printf("  step %2d: %d Newton its, PCG %v, plastic %.1f%%\n",
+				i+1, ss.NewtonIters, ss.PCGIters, 100*ss.PlasticFrac)
+		}
+		fmt.Printf("totals: %d Newton its, %d PCG its, first solve %d its\n",
+			stats.TotalNewton, stats.TotalPCG, stats.FirstSolveIters)
+		return
+	}
+
+	t1 := time.Now()
+	u := make([]float64, m.NumDOF())
+	cons.Scaled(0.1).Apply(u)
+	k, fint, err := p.AssembleTangent(u)
+	fail(err)
+	fmt.Printf("fine grid creation: %v (%d nonzeros)\n", time.Since(t1).Round(time.Millisecond), k.NNZ())
+
+	f := load
+	if f == nil {
+		f = make([]float64, m.NumDOF())
+		for i := range f {
+			f[i] = -fint[i]
+		}
+	}
+	t2 := time.Now()
+	_, res, err := solver.SolveLinear(k, f)
+	fail(err)
+	fmt.Printf("matrix setup + solve: %v\n", time.Since(t2).Round(time.Millisecond))
+	fmt.Printf("MG-PCG: %d iterations to rtol=%g on %d levels; %.1f Mflop solve, %.1f Mflop setup\n",
+		res.Iterations, *rtol, res.Levels,
+		float64(res.SolveFlops)/1e6, float64(res.SetupFlops)/1e6)
+}
+
+func fmtRatios(r []float64) []string {
+	out := make([]string, len(r))
+	for i, v := range r {
+		out[i] = fmt.Sprintf("%.3f", v)
+	}
+	return out
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promsolve: %v\n", err)
+		os.Exit(1)
+	}
+}

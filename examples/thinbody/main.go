@@ -1,0 +1,92 @@
+// Thinbody: the section 4.6 story (Figures 4-6). A maximal independent set
+// taken naively on a thin plate lets one face decimate the other, losing
+// the geometry on the coarse grid; the modified MIS graph — built from
+// identified faces and vertex classifications — protects both faces. This
+// example shows the face identification, the classification census, the
+// MIS with and without the modification, and the effect on the solver.
+//
+//	go run ./examples/thinbody
+package main
+
+import (
+	"fmt"
+	"log"
+
+	prometheus "prometheus"
+	"prometheus/internal/graph"
+	"prometheus/internal/mesh"
+	"prometheus/internal/problems"
+	"prometheus/internal/topo"
+)
+
+func main() {
+	// A 14x14x1-element plate, 0.35 thick: elements span the full
+	// thickness, so top vertices are graph-adjacent to bottom vertices.
+	m := problems.ThinSlab(14, 14, 0.35)
+	fmt.Printf("thin slab: %d vertices, %d elements\n", m.NumVerts(), m.NumElems())
+
+	// Face identification (Figure 3) and vertex classification.
+	facets := m.BoundaryFacets()
+	adj := mesh.FacetAdjacency(facets)
+	faceID, nFaces := topo.IdentifyFaces(facets, adj, topo.DefaultTOL)
+	cls := topo.Classify(m.NumVerts(), facets, faceID)
+	census := map[int]int{}
+	for _, r := range cls.Rank {
+		census[r]++
+	}
+	fmt.Printf("faces identified: %d; vertices: %d interior, %d surface, %d edge, %d corner\n",
+		nFaces, census[topo.RankInterior], census[topo.RankSurface],
+		census[topo.RankEdge], census[topo.RankCorner])
+
+	g := m.NodeGraph()
+	mg := cls.ModifiedGraph(g)
+	fmt.Printf("modified graph: %d -> %d edges (deleted %d cross-face edges)\n",
+		g.NumEdges(), mg.NumEdges(), g.NumEdges()-mg.NumEdges())
+
+	cover := func(set []int) (top, bottom int) {
+		for _, v := range set {
+			if m.Coords[v].Z > 0.34 {
+				top++
+			}
+			if m.Coords[v].Z < 0.01 {
+				bottom++
+			}
+		}
+		return
+	}
+	plain := graph.MIS(g, graph.NaturalOrder(g.N), nil, nil)
+	order := graph.RankedOrder(cls.Rank, graph.NaturalOrder(g.N))
+	protected := graph.MIS(mg, order, cls.Rank, cls.Immortal())
+	pt, pb := cover(plain)
+	mt, mb := cover(protected)
+	fmt.Printf("plain MIS:     %4d vertices (top %d / bottom %d)  <- one face can vanish\n", len(plain), pt, pb)
+	fmt.Printf("modified MIS:  %4d vertices (top %d / bottom %d)  <- both faces kept\n", len(protected), mt, mb)
+
+	// Solver consequence: clamp one edge, bend the plate, solve with the
+	// automatic hierarchy (which uses the modified graph internally).
+	cons := prometheus.NewConstraints()
+	load := make([]float64, m.NumDOF())
+	for v, p := range m.Coords {
+		if p.X == 0 {
+			cons.FixVert(v, 0, 0, 0)
+		}
+		if p.X == 14 {
+			load[3*v+2] = -1e-4
+		}
+	}
+	solver, err := prometheus.NewSolver(m, cons, prometheus.Options{RTol: 1e-6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := prometheus.NewProblem(m, []prometheus.Model{prometheus.LinearElastic{E: 1, Nu: 0.3}}, false)
+	k, _, err := p.AssembleTangent(make([]float64, m.NumDOF()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, res, err := solver.SolveLinear(k, load)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plate bending solved in %d MG-PCG iterations on %d levels\n",
+		res.Iterations, res.Levels)
+}

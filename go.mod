@@ -1,0 +1,3 @@
+module prometheus
+
+go 1.22

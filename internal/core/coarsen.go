@@ -1,0 +1,510 @@
+// Package core is the reproduction of Prometheus proper — the paper's
+// contribution (sections 3 and 4): automatic construction of a hierarchy of
+// coarse grids and restriction operators from an unstructured fine mesh.
+//
+// Per level the pipeline is:
+//
+//  1. classify vertices topologically from identified boundary faces
+//     (sections 4.3-4.5), or inherit/reclassify per the section 4.6 policy;
+//  2. build the modified MIS graph: delete edges between exterior vertices
+//     that share no face, make corners immortal (section 4.6);
+//  3. run the (serial or parallel) maximal independent set algorithm with
+//     rank ordering and the chosen within-rank orderings (sections 4.1,
+//     4.2, 4.7);
+//  4. remesh the selected vertices with Delaunay tetrahedra inside a
+//     bounding box, dropping box-attached and (optionally) "far" tetrahedra
+//     (section 4.8);
+//  5. build the restriction operator from linear tetrahedral shape
+//     functions evaluated at the fine vertices, with the lost-vertex
+//     fallback (section 4.8);
+//  6. recurse on the coarse tetrahedral mesh.
+//
+// Coarse grid operators are formed algebraically by the multigrid package
+// (A_coarse = R·A_fine·Rᵀ, section 3).
+package core
+
+import (
+	"fmt"
+
+	"prometheus/internal/delaunay"
+	"prometheus/internal/geom"
+	"prometheus/internal/graph"
+	"prometheus/internal/mesh"
+	"prometheus/internal/par"
+	"prometheus/internal/sparse"
+	"prometheus/internal/topo"
+)
+
+// Ordering selects the within-rank vertex traversal order (section 4.7).
+type Ordering int
+
+const (
+	// Natural visits vertices in mesh order (dense MISs; the paper's
+	// suggestion for exterior vertices).
+	Natural Ordering = iota
+	// Random visits vertices in a deterministic pseudo-random order
+	// (sparse MISs; the paper's suggestion for interior vertices).
+	Random
+)
+
+// Options controls the coarsening.
+type Options struct {
+	// TOL is the face identification tolerance (cosine); default 0.866.
+	TOL float64
+	// OrderExterior/OrderInterior are the within-rank orderings.
+	OrderExterior Ordering
+	OrderInterior Ordering
+	// Seed drives the random orderings.
+	Seed uint64
+	// ReclassifyFrom is the first grid index whose classification is
+	// recomputed from its own mesh rather than inherited; the paper
+	// reclassifies "the third and subsequent grids", i.e. index 2.
+	ReclassifyFrom int
+	// MinCoarse stops coarsening once a grid has at most this many
+	// vertices (they are then solved directly). Default 64.
+	MinCoarse int
+	// MaxLevels bounds the total number of grids. Default 16.
+	MaxLevels int
+	// PruneFar enables the section 4.8 heuristic that drops tetrahedra
+	// connecting coarse vertices that were far apart on the fine grid and
+	// contain no fine vertex uniquely.
+	PruneFar bool
+	// GraphDistMax is the fine-graph distance defining "near" for PruneFar
+	// (default 3).
+	GraphDistMax int
+	// Ranks > 1 runs the parallel MIS of section 4.2 on a simulated
+	// communicator with an RCB vertex partition.
+	Ranks int
+	// Eps is the interpolation tolerance: fine vertices accept containing
+	// tetrahedra with barycentric weights above -Eps (section 4.8's
+	// "interpolates that are all above -epsilon").
+	Eps float64
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.TOL == 0 {
+		o.TOL = topo.DefaultTOL
+	}
+	if o.ReclassifyFrom == 0 {
+		o.ReclassifyFrom = 2
+	}
+	if o.MinCoarse == 0 {
+		o.MinCoarse = 64
+	}
+	if o.MaxLevels == 0 {
+		o.MaxLevels = 16
+	}
+	if o.GraphDistMax == 0 {
+		o.GraphDistMax = 3
+	}
+	if o.Ranks == 0 {
+		o.Ranks = 1
+	}
+	if o.Eps == 0 {
+		o.Eps = 1e-8
+	}
+	return o
+}
+
+// Grid is one level of the hierarchy. Grid 0 is the input mesh; every
+// coarser grid carries the restriction from its parent.
+type Grid struct {
+	Mesh  *mesh.Mesh // the grid's mesh (input mesh or coarse tet mesh)
+	Class *topo.Classification
+	// Verts maps this grid's vertices to their parent-grid vertex ids
+	// (nil on grid 0).
+	Verts []int
+	// R restricts parent-grid dof vectors to this grid:
+	// (3·nVerts)×(3·nParentVerts); nil on grid 0. Rows are the linear
+	// tetrahedral shape functions of section 4.8, replicated per
+	// displacement component.
+	R *sparse.CSR
+	// Lost counts the fine vertices interpolated via the nearest-element
+	// fallback on this grid's construction.
+	Lost int
+}
+
+// Hierarchy is the grid stack, finest first.
+type Hierarchy struct {
+	Grids []*Grid
+	Opts  Options
+}
+
+// NumLevels returns the number of grids.
+func (h *Hierarchy) NumLevels() int { return len(h.Grids) }
+
+// Coarsen builds the full hierarchy from the input mesh.
+func Coarsen(m *mesh.Mesh, opts Options) (*Hierarchy, error) {
+	opts = opts.withDefaults()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{Opts: opts}
+	cls := topo.Reclassify(m, opts.TOL)
+	h.Grids = append(h.Grids, &Grid{Mesh: m, Class: cls})
+
+	for len(h.Grids) < opts.MaxLevels {
+		cur := h.Grids[len(h.Grids)-1]
+		if cur.Mesh.NumVerts() <= opts.MinCoarse {
+			break
+		}
+		next, err := coarsenOnce(cur, len(h.Grids), opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: level %d: %w", len(h.Grids), err)
+		}
+		if next == nil {
+			break // coarsening stalled; solve current level directly
+		}
+		h.Grids = append(h.Grids, next)
+	}
+	return h, nil
+}
+
+// coarsenOnce builds grid "level" from its parent. Returns nil (no error)
+// when coarsening can no longer make useful progress.
+func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
+	m := parent.Mesh
+	cls := parent.Class
+	g := m.NodeGraph()
+	mg := cls.ModifiedGraph(g)
+
+	order := buildOrder(cls, opts)
+	var mis []int
+	if opts.Ranks > 1 {
+		owner := graph.RCB(m.Coords, opts.Ranks)
+		mis = par.ParallelMIS(par.NewComm(opts.Ranks), mg, owner, order, cls.Rank, cls.Immortal())
+	} else {
+		mis = graph.MIS(mg, order, cls.Rank, cls.Immortal())
+	}
+	if len(mis) < 5 || len(mis) >= m.NumVerts() {
+		return nil, nil // too small to remesh, or no reduction
+	}
+
+	// Coarse vertex coordinates.
+	coords := make([]geom.Vec3, len(mis))
+	coarseOf := make(map[int]int, len(mis)) // parent vertex -> coarse index
+	for i, v := range mis {
+		coords[i] = m.Coords[v]
+		coarseOf[v] = i
+	}
+
+	tri, err := delaunay.New(coords)
+	if err != nil {
+		// Degenerate coarse point set (deep, tiny grids): stop coarsening
+		// here and let the previous level be solved directly.
+		return nil, nil
+	}
+	tets := tri.Tets()
+	if len(tets) == 0 {
+		return nil, nil
+	}
+
+	// Optional far-tet pruning (section 4.8).
+	kept := make([]bool, len(tets))
+	for i := range kept {
+		kept[i] = true
+	}
+	if opts.PruneFar {
+		near := nearPairs(g, mis, opts.GraphDistMax)
+		for i, tet := range tets {
+			ok := true
+			for a := 0; a < 4 && ok; a++ {
+				for b := a + 1; b < 4; b++ {
+					pa, pb := mis[tet[a]], mis[tet[b]]
+					if !near[pairKey{pa, pb}] && !near[pairKey{pb, pa}] {
+						ok = false
+						break
+					}
+				}
+			}
+			kept[i] = ok
+		}
+		// Tets containing a fine vertex uniquely are resurrected below.
+	}
+
+	// Restriction: for every parent vertex, interpolation weights on the
+	// coarse vertices.
+	nf := m.NumVerts()
+	nc := len(mis)
+	rb := sparse.NewBuilder(3*nc, 3*nf)
+	lost := 0
+	keptSet := make(map[[4]int]bool, len(tets))
+	// Incidence of coarse vertices on kept tets, for the graph-local
+	// "find a nearby element" fallback of section 4.8.
+	incident := make([][]int, nc)
+	for i, tet := range tets {
+		if !kept[i] {
+			continue
+		}
+		keptSet[tet] = true
+		for _, cv := range tet {
+			incident[cv] = append(incident[cv], i)
+		}
+	}
+	// nearbyElement finds the least-violating kept tetrahedron among those
+	// incident to the coarse vertices closest (in the parent graph) to v.
+	nearbyElement := func(v int) ([4]int, [4]float64, bool) {
+		// BFS until the first layer containing MIS vertices, plus one.
+		dist := map[int]int{v: 0}
+		queue := []int{v}
+		var found []int
+		foundDepth := -1
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			if foundDepth >= 0 && dist[u] > foundDepth+1 {
+				break
+			}
+			if j, ok := coarseOf[u]; ok {
+				found = append(found, j)
+				if foundDepth < 0 {
+					foundDepth = dist[u]
+				}
+			}
+			if foundDepth >= 0 && dist[u] >= foundDepth+1 {
+				continue
+			}
+			for _, w := range g.Neighbors(u) {
+				if _, seen := dist[w]; !seen {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		best := -1
+		bestMin := -1e300
+		var bestW [4]float64
+		for _, j := range found {
+			for _, ti := range incident[j] {
+				tet := tets[ti]
+				bw, okB := geom.Barycentric(coords[tet[0]], coords[tet[1]], coords[tet[2]], coords[tet[3]], m.Coords[v])
+				if !okB {
+					continue
+				}
+				minw := bw[0]
+				for _, x := range bw[1:] {
+					if x < minw {
+						minw = x
+					}
+				}
+				if minw > bestMin {
+					bestMin, best, bestW = minw, ti, bw
+				}
+			}
+		}
+		if best < 0 {
+			return [4]int{}, [4]float64{}, false
+		}
+		return tets[best], bestW, true
+	}
+	for v := 0; v < nf; v++ {
+		if j, isCoarse := coarseOf[v]; isCoarse {
+			for c := 0; c < 3; c++ {
+				rb.Add(3*j+c, 3*v+c, 1)
+			}
+			continue
+		}
+		verts, w, ok := tri.Interpolate(m.Coords[v])
+		if ok && !keptSet[verts] {
+			ok = false // pruned or box-adjacent tet: treat as lost
+		}
+		if ok {
+			for _, wi := range w {
+				if wi < -opts.Eps {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			verts, w, ok = nearbyElement(v)
+			if !ok {
+				verts, w, ok = tri.Nearest(m.Coords[v])
+				if !ok {
+					// Every candidate tetrahedron is degenerate: the coarse
+					// vertex set has collapsed (e.g. a thin body whose MIS
+					// lost one face, Figure 4). Stop coarsening here.
+					return nil, nil
+				}
+			}
+			lost++
+		}
+		for k := 0; k < 4; k++ {
+			if w[k] == 0 {
+				continue
+			}
+			for c := 0; c < 3; c++ {
+				rb.Add(3*verts[k]+c, 3*v+c, w[k])
+			}
+		}
+	}
+
+	// Coarse tetrahedral mesh (kept tets only; if pruning emptied the mesh,
+	// fall back to all tets).
+	var elems [][]int
+	for i, tet := range tets {
+		if kept[i] {
+			elems = append(elems, []int{tet[0], tet[1], tet[2], tet[3]})
+		}
+	}
+	if len(elems) == 0 {
+		for _, tet := range tets {
+			elems = append(elems, []int{tet[0], tet[1], tet[2], tet[3]})
+		}
+	}
+	// Material: majority of parent vertex materials (only used by the
+	// reclassification face heuristics on coarser grids).
+	vertMat := vertexMaterials(m)
+	mats := make([]int, len(elems))
+	for e, conn := range elems {
+		count := map[int]int{}
+		for _, cv := range conn {
+			count[vertMat[mis[cv]]]++
+		}
+		best, bestN := 0, -1
+		for mat, n := range count {
+			if n > bestN || (n == bestN && mat < best) {
+				best, bestN = mat, n
+			}
+		}
+		mats[e] = best
+	}
+	cm := &mesh.Mesh{Type: mesh.Tet4, Coords: coords, Elems: elems, Mat: mats}
+
+	// Classification for the new grid: inherit below ReclassifyFrom,
+	// recompute from the coarse mesh at and beyond it (section 4.6).
+	var ncls *topo.Classification
+	if level < opts.ReclassifyFrom {
+		ncls = &topo.Classification{
+			Rank:  make([]int, nc),
+			Faces: make([][]int, nc),
+		}
+		for i, v := range mis {
+			ncls.Rank[i] = cls.Rank[v]
+			ncls.Faces[i] = append([]int(nil), cls.Faces[v]...)
+		}
+	} else {
+		ncls = topo.Reclassify(cm, opts.TOL)
+	}
+
+	return &Grid{
+		Mesh:  cm,
+		Class: ncls,
+		Verts: mis,
+		R:     rb.Build(),
+		Lost:  lost,
+	}, nil
+}
+
+// buildOrder constructs the MIS traversal order: ranks descending, with the
+// configured within-rank orderings (natural for exterior / random for
+// interior by default — section 4.7).
+func buildOrder(cls *topo.Classification, opts Options) []int {
+	n := len(cls.Rank)
+	within := make([]int, 0, n)
+	ext := make([]int, 0)
+	inter := make([]int, 0)
+	for v := 0; v < n; v++ {
+		if cls.Rank[v] == topo.RankInterior {
+			inter = append(inter, v)
+		} else {
+			ext = append(ext, v)
+		}
+	}
+	permute := func(list []int, ord Ordering) []int {
+		if ord == Natural {
+			return list
+		}
+		p := graph.RandomOrder(len(list), opts.Seed+uint64(len(list)))
+		out := make([]int, len(list))
+		for i, k := range p {
+			out[i] = list[k]
+		}
+		return out
+	}
+	within = append(within, permute(ext, opts.OrderExterior)...)
+	within = append(within, permute(inter, opts.OrderInterior)...)
+	return graph.RankedOrder(cls.Rank, within)
+}
+
+type pairKey [2]int
+
+// nearPairs returns the pairs of MIS vertices within graph distance maxD of
+// each other on the parent graph.
+func nearPairs(g *graph.Graph, mis []int, maxD int) map[pairKey]bool {
+	inMIS := make(map[int]bool, len(mis))
+	for _, v := range mis {
+		inMIS[v] = true
+	}
+	near := make(map[pairKey]bool)
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int
+	for _, src := range mis {
+		// Bounded BFS.
+		queue = append(queue[:0], src)
+		var touched []int
+		dist[src] = 0
+		touched = append(touched, src)
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			if dist[v] >= maxD {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					touched = append(touched, w)
+					queue = append(queue, w)
+					if inMIS[w] {
+						near[pairKey{src, w}] = true
+					}
+				}
+			}
+		}
+		for _, v := range touched {
+			dist[v] = -1
+		}
+	}
+	return near
+}
+
+// VertexReduction returns the per-level vertex counts and reduction ratios
+// (the paper bounds the MIS ratio by 1/2³ and 1/3³ on uniform hexahedral
+// meshes, section 4.7).
+func (h *Hierarchy) VertexReduction() (counts []int, ratios []float64) {
+	for i, g := range h.Grids {
+		counts = append(counts, g.Mesh.NumVerts())
+		if i > 0 {
+			ratios = append(ratios, float64(counts[i])/float64(counts[i-1]))
+		}
+	}
+	return
+}
+
+// vertexMaterials assigns each vertex the majority material of its incident
+// elements (ties to the lower id).
+func vertexMaterials(m *mesh.Mesh) []int {
+	counts := make([]map[int]int, m.NumVerts())
+	for e, conn := range m.Elems {
+		for _, v := range conn {
+			if counts[v] == nil {
+				counts[v] = map[int]int{}
+			}
+			counts[v][m.Mat[e]]++
+		}
+	}
+	out := make([]int, m.NumVerts())
+	for v, cm := range counts {
+		best, bestN := 0, -1
+		for mat, n := range cm {
+			if n > bestN || (n == bestN && mat < best) {
+				best, bestN = mat, n
+			}
+		}
+		out[v] = best
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"prometheus/internal/geom"
+	"prometheus/internal/mesh"
+	"prometheus/internal/topo"
+)
+
+func cubeMesh(n int) *mesh.Mesh {
+	return mesh.StructuredHex(n, n, n, 1, 1, 1, nil)
+}
+
+func TestCoarsenCube(t *testing.T) {
+	m := cubeMesh(6) // 343 vertices
+	h, err := Coarsen(m, Options{MinCoarse: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() < 2 {
+		t.Fatalf("levels = %d, want >= 2", h.NumLevels())
+	}
+	counts, ratios := h.VertexReduction()
+	for i := 1; i < len(counts); i++ {
+		if counts[i] >= counts[i-1] {
+			t.Fatalf("no reduction at level %d: %v", i, counts)
+		}
+	}
+	// The paper bounds the hex-mesh MIS ratio by [1/27, 1/8]; with the
+	// boundary-protecting heuristics the top levels run denser, so allow
+	// generous slack while still requiring real coarsening.
+	if ratios[0] > 0.5 || ratios[0] < 1.0/40 {
+		t.Fatalf("first reduction ratio %v outside plausible range", ratios[0])
+	}
+}
+
+func TestRestrictionPartitionOfUnity(t *testing.T) {
+	m := cubeMesh(5)
+	h, err := Coarsen(m, Options{MinCoarse: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l < h.NumLevels(); l++ {
+		r := h.Grids[l].R
+		nf := h.Grids[l-1].Mesh.NumVerts()
+		// Column sums per fine dof must be 1 (linear shape functions sum
+		// to one at every fine vertex): prolongation of the constant is
+		// the constant.
+		colSum := make([]float64, r.NCols)
+		for i := 0; i < r.NRows; i++ {
+			cols, vals := r.Row(i)
+			for k, j := range cols {
+				colSum[j] += vals[k]
+			}
+		}
+		for j := 0; j < 3*nf; j++ {
+			if math.Abs(colSum[j]-1) > 1e-6 {
+				t.Fatalf("level %d: column %d sums to %v", l, j, colSum[j])
+			}
+		}
+	}
+}
+
+func TestRestrictionComponentsDecoupled(t *testing.T) {
+	// Displacement components never mix: R entries only connect dof c to
+	// dof c.
+	m := cubeMesh(4)
+	h, err := Coarsen(m, Options{MinCoarse: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.Grids[1].R
+	for i := 0; i < r.NRows; i++ {
+		cols, _ := r.Row(i)
+		for _, j := range cols {
+			if i%3 != j%3 {
+				t.Fatalf("R mixes components: row %d col %d", i, j)
+			}
+		}
+	}
+}
+
+func TestCoarseVerticesAreInjected(t *testing.T) {
+	m := cubeMesh(4)
+	h, err := Coarsen(m, Options{MinCoarse: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := h.Grids[1]
+	for j, v := range g1.Verts {
+		for c := 0; c < 3; c++ {
+			if got := g1.R.At(3*j+c, 3*v+c); math.Abs(got-1) > 1e-12 {
+				t.Fatalf("coarse vertex %d not injected: R = %v", j, got)
+			}
+		}
+	}
+	// Coarse coords must equal the source fine coords.
+	for j, v := range g1.Verts {
+		if g1.Mesh.Coords[j] != m.Coords[v] {
+			t.Fatalf("coarse vertex %d coords mismatch", j)
+		}
+	}
+}
+
+func TestCornersSurvive(t *testing.T) {
+	// The 8 cube corners are immortal: they must appear on every grid that
+	// the hierarchy builds (their coordinates are preserved).
+	m := cubeMesh(5)
+	h, err := Coarsen(m, Options{MinCoarse: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isCorner := func(p geom.Vec3) bool {
+		at := func(x float64) bool { return x == 0 || x == 1 }
+		return at(p.X) && at(p.Y) && at(p.Z)
+	}
+	for l := 1; l < h.NumLevels(); l++ {
+		found := 0
+		for _, p := range h.Grids[l].Mesh.Coords {
+			if isCorner(p) {
+				found++
+			}
+		}
+		if found != 8 {
+			t.Fatalf("level %d kept %d/8 corners", l, found)
+		}
+	}
+}
+
+func TestInheritThenReclassify(t *testing.T) {
+	m := cubeMesh(6)
+	h, err := Coarsen(m, Options{MinCoarse: 10, ReclassifyFrom: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() < 3 {
+		t.Skip("hierarchy too shallow for this mesh size")
+	}
+	// Grid 1 inherits: each coarse vertex rank equals its fine source rank.
+	g1 := h.Grids[1]
+	for j, v := range g1.Verts {
+		if g1.Class.Rank[j] != h.Grids[0].Class.Rank[v] {
+			t.Fatalf("grid 1 vertex %d did not inherit rank", j)
+		}
+	}
+	// Grid 2 is reclassified from its own tet mesh: ranks are still valid
+	// categories.
+	for _, r := range h.Grids[2].Class.Rank {
+		if r < topo.RankInterior || r > topo.RankCorner {
+			t.Fatalf("invalid rank %d", r)
+		}
+	}
+}
+
+func TestThinBodyCoverage(t *testing.T) {
+	// Figures 4-6: a thin slab must keep both faces represented on the
+	// coarse grid.
+	m := mesh.StructuredHex(10, 10, 1, 10, 10, 0.3, nil)
+	h, err := Coarsen(m, Options{MinCoarse: 10, MaxLevels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() < 2 {
+		t.Fatal("no coarse grid built")
+	}
+	top, bottom := 0, 0
+	for _, p := range h.Grids[1].Mesh.Coords {
+		if p.Z > 0.29 {
+			top++
+		}
+		if p.Z < 0.01 {
+			bottom++
+		}
+	}
+	if top < 4 || bottom < 4 {
+		t.Fatalf("thin body lost a face: top=%d bottom=%d", top, bottom)
+	}
+}
+
+func TestParallelCoarsenMatchesInvariants(t *testing.T) {
+	m := cubeMesh(5)
+	h, err := Coarsen(m, Options{MinCoarse: 20, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() < 2 {
+		t.Fatal("no coarsening")
+	}
+	// Restriction still a partition of unity.
+	r := h.Grids[1].R
+	colSum := make([]float64, r.NCols)
+	for i := 0; i < r.NRows; i++ {
+		cols, vals := r.Row(i)
+		for k, j := range cols {
+			colSum[j] += vals[k]
+		}
+	}
+	for j, s := range colSum {
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("column %d sums to %v", j, s)
+		}
+	}
+}
+
+func TestPruneFarOption(t *testing.T) {
+	m := cubeMesh(5)
+	h, err := Coarsen(m, Options{MinCoarse: 20, MaxLevels: 2, PruneFar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() < 2 {
+		t.Fatal("no coarsening")
+	}
+	// Pruning must not break interpolation: partition of unity still holds.
+	r := h.Grids[1].R
+	colSum := make([]float64, r.NCols)
+	for i := 0; i < r.NRows; i++ {
+		cols, vals := r.Row(i)
+		for k, j := range cols {
+			colSum[j] += vals[k]
+		}
+	}
+	for j, s := range colSum {
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("column %d sums to %v", j, s)
+		}
+	}
+}
+
+func TestOrderingAblation(t *testing.T) {
+	// Section 4.7: random interior ordering should give a sparser (or
+	// equal) coarse grid than natural ordering.
+	m := cubeMesh(8)
+	hNat, err := Coarsen(m, Options{MinCoarse: 20, MaxLevels: 2,
+		OrderInterior: Natural, OrderExterior: Natural})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hRnd, err := Coarsen(m, Options{MinCoarse: 20, MaxLevels: 2,
+		OrderInterior: Random, OrderExterior: Natural, Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nNat := hNat.Grids[1].Mesh.NumVerts()
+	nRnd := hRnd.Grids[1].Mesh.NumVerts()
+	if nRnd > nNat {
+		t.Fatalf("random ordering should not be denser: natural %d random %d", nNat, nRnd)
+	}
+}
+
+func TestCoarsenStopsAtMinCoarse(t *testing.T) {
+	m := cubeMesh(3)
+	h, err := Coarsen(m, Options{MinCoarse: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() != 1 {
+		t.Fatalf("should not coarsen below MinCoarse: levels = %d", h.NumLevels())
+	}
+}
+
+func TestCoarsenRejectsInvalidMesh(t *testing.T) {
+	m := cubeMesh(2)
+	m.Mat = nil
+	if _, err := Coarsen(m, Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

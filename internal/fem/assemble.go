@@ -1,0 +1,411 @@
+package fem
+
+import (
+	"fmt"
+	"sync"
+
+	"prometheus/internal/geom"
+	"prometheus/internal/material"
+	"prometheus/internal/mesh"
+	"prometheus/internal/sparse"
+)
+
+// Problem couples a mesh with its materials and integration-point states.
+// It stands in for FEAP: it can compute the element stiffness matrices,
+// assemble the global tangent and internal force at a displacement state,
+// and commit the material history after a converged load step.
+type Problem struct {
+	M      *mesh.Mesh
+	Models []material.Model   // indexed by element material id
+	States [][]material.State // committed state per element per Gauss point
+	BBar   bool               // mean-dilatation treatment of the volumetric strain
+	// Workers > 1 integrates elements concurrently (goroutines); results
+	// are accumulated in element order in fixed-size chunks, so the
+	// assembled matrix is bit-for-bit identical to the serial one.
+	Workers int
+
+	// AssembleFlops accumulates an estimate of the floating point work in
+	// element integration (the paper's "fine grid creation (FEAP)" phase).
+	AssembleFlops int64
+}
+
+// NewProblem allocates a Problem with fresh (zero) material states.
+func NewProblem(m *mesh.Mesh, models []material.Model, bbar bool) *Problem {
+	p := &Problem{M: m, Models: models, BBar: bbar}
+	var ngp int
+	switch m.Type {
+	case mesh.Tet4:
+		ngp = len(TetGauss1)
+	case mesh.Hex20:
+		ngp = len(HexGauss3)
+	default:
+		ngp = len(HexGauss2)
+	}
+	p.States = make([][]material.State, m.NumElems())
+	for e := range p.States {
+		p.States[e] = make([]material.State, ngp)
+	}
+	return p
+}
+
+// gauss returns the quadrature rule for the mesh's element type.
+func (p *Problem) gauss() []GaussPoint {
+	switch p.M.Type {
+	case mesh.Tet4:
+		return TetGauss1
+	case mesh.Hex20:
+		return HexGauss3
+	default:
+		return HexGauss2
+	}
+}
+
+// shapeAt evaluates shape gradients for element type at a Gauss point.
+func (p *Problem) shapeAt(xi geom.Vec3) []geom.Vec3 {
+	switch p.M.Type {
+	case mesh.Tet4:
+		_, dn := TetShape(xi)
+		return dn[:]
+	case mesh.Hex20:
+		_, dn := Hex20Shape(xi)
+		return dn[:]
+	default:
+		_, dn := HexShape(xi)
+		return dn[:]
+	}
+}
+
+// elementData holds per-Gauss-point geometry for one element.
+type elementData struct {
+	detJ []float64
+	dndx [][]geom.Vec3
+	vol  float64
+	// bbar holds the volume-averaged gradients (B-bar correction).
+	bbar []geom.Vec3
+}
+
+// geometry integrates the element Jacobians (and the B-bar means).
+func (p *Problem) geometry(e int) (*elementData, error) {
+	conn := p.M.Elems[e]
+	coords := make([]geom.Vec3, len(conn))
+	for a, v := range conn {
+		coords[a] = p.M.Coords[v]
+	}
+	gps := p.gauss()
+	ed := &elementData{
+		detJ: make([]float64, len(gps)),
+		dndx: make([][]geom.Vec3, len(gps)),
+		bbar: make([]geom.Vec3, len(conn)),
+	}
+	for g, gp := range gps {
+		dn := p.shapeAt(gp.Xi)
+		detJ, dndx := jacobian(coords, dn)
+		if detJ <= 0 {
+			return nil, fmt.Errorf("fem: element %d has non-positive Jacobian %g at gp %d", e, detJ, g)
+		}
+		ed.detJ[g] = detJ
+		ed.dndx[g] = dndx
+		w := gp.W * detJ
+		ed.vol += w
+		for a := range conn {
+			ed.bbar[a] = ed.bbar[a].Add(dndx[a].Scale(w))
+		}
+	}
+	for a := range conn {
+		ed.bbar[a] = ed.bbar[a].Scale(1 / ed.vol)
+	}
+	return ed, nil
+}
+
+// strainAt computes the (possibly B-bar) strain at Gauss point g of element
+// e given the global displacement u.
+func (p *Problem) strainAt(e int, ed *elementData, g int, u []float64) material.Voigt {
+	conn := p.M.Elems[e]
+	var eps material.Voigt
+	for a, v := range conn {
+		gx := ed.dndx[g][a]
+		ux, uy, uz := u[3*v], u[3*v+1], u[3*v+2]
+		eps[0] += gx.X * ux
+		eps[1] += gx.Y * uy
+		eps[2] += gx.Z * uz
+		eps[3] += gx.Y*ux + gx.X*uy
+		eps[4] += gx.Z*uy + gx.Y*uz
+		eps[5] += gx.Z*ux + gx.X*uz
+	}
+	if p.BBar {
+		// Replace the volumetric strain by its element mean.
+		div := eps[0] + eps[1] + eps[2]
+		var divBar float64
+		for a, v := range conn {
+			gb := ed.bbar[a]
+			divBar += gb.X*u[3*v] + gb.Y*u[3*v+1] + gb.Z*u[3*v+2]
+		}
+		c := (divBar - div) / 3
+		eps[0] += c
+		eps[1] += c
+		eps[2] += c
+	}
+	return eps
+}
+
+// bMatrix fills the 6×(3n) strain-displacement matrix at Gauss point g,
+// with the B-bar volumetric correction when enabled.
+func (p *Problem) bMatrix(ed *elementData, g, nNodes int, b [][]float64) {
+	for i := range b {
+		for j := range b[i] {
+			b[i][j] = 0
+		}
+	}
+	for a := 0; a < nNodes; a++ {
+		gx := ed.dndx[g][a]
+		c := 3 * a
+		b[0][c] = gx.X
+		b[1][c+1] = gx.Y
+		b[2][c+2] = gx.Z
+		b[3][c] = gx.Y
+		b[3][c+1] = gx.X
+		b[4][c+1] = gx.Z
+		b[4][c+2] = gx.Y
+		b[5][c] = gx.Z
+		b[5][c+2] = gx.X
+	}
+	if p.BBar {
+		for a := 0; a < nNodes; a++ {
+			gx := ed.dndx[g][a]
+			gb := ed.bbar[a]
+			d := [3]float64{
+				(gb.X - gx.X) / 3,
+				(gb.Y - gx.Y) / 3,
+				(gb.Z - gx.Z) / 3,
+			}
+			for row := 0; row < 3; row++ {
+				b[row][3*a] += d[0]
+				b[row][3*a+1] += d[1]
+				b[row][3*a+2] += d[2]
+			}
+		}
+	}
+}
+
+// elemScratch holds the per-worker buffers of element integration.
+type elemScratch struct {
+	b, db [][]float64
+}
+
+func newElemScratch(ndof int) *elemScratch {
+	s := &elemScratch{b: make([][]float64, 6), db: make([][]float64, 6)}
+	for i := range s.b {
+		s.b[i] = make([]float64, ndof)
+		s.db[i] = make([]float64, ndof)
+	}
+	return s
+}
+
+// integrateElement computes the element tangent (flat, row-major ndof×ndof)
+// and internal force of element e at displacement u, returning the flop
+// estimate.
+func (p *Problem) integrateElement(e int, u []float64, scr *elemScratch, ke, fe []float64) (int64, error) {
+	ed, err := p.geometry(e)
+	if err != nil {
+		return 0, err
+	}
+	nNodes := p.M.Type.NodesPerElem()
+	ndof := 3 * nNodes
+	model := p.Models[p.M.Mat[e]]
+	for i := range fe {
+		fe[i] = 0
+	}
+	for i := range ke {
+		ke[i] = 0
+	}
+	var flops int64
+	for g, gp := range p.gauss() {
+		eps := p.strainAt(e, ed, g, u)
+		sig, d, _ := model.Update(p.States[e][g], eps)
+		p.bMatrix(ed, g, nNodes, scr.b)
+		w := gp.W * ed.detJ[g]
+		// db = D·B.
+		for i := 0; i < 6; i++ {
+			for j := 0; j < ndof; j++ {
+				s := 0.0
+				for k := 0; k < 6; k++ {
+					s += d[i][k] * scr.b[k][j]
+				}
+				scr.db[i][j] = s
+			}
+		}
+		// ke += w·Bᵀ·(D·B); fe += w·Bᵀ·σ.
+		for i := 0; i < ndof; i++ {
+			for k := 0; k < 6; k++ {
+				bki := scr.b[k][i]
+				if bki == 0 {
+					continue
+				}
+				fe[i] += w * bki * sig[k]
+				row := scr.db[k]
+				krow := ke[i*ndof : (i+1)*ndof]
+				for j := 0; j < ndof; j++ {
+					krow[j] += w * bki * row[j]
+				}
+			}
+		}
+		flops += int64(6*ndof*6*2 + ndof*6*(ndof+1)*2)
+	}
+	return flops, nil
+}
+
+// AssembleTangent computes the global consistent tangent K(u) and internal
+// force vector fint(u) from the committed material states. Both use the
+// full 3·NumVerts dof numbering; apply Constraints to reduce. With
+// Workers > 1 element integration runs concurrently; the result is
+// identical to the serial assembly.
+func (p *Problem) AssembleTangent(u []float64) (*sparse.CSR, []float64, error) {
+	n := p.M.NumDOF()
+	if len(u) != n {
+		return nil, nil, fmt.Errorf("fem: u has %d entries, want %d", len(u), n)
+	}
+	kb := sparse.NewBuilder(n, n)
+	fint := make([]float64, n)
+	ndof := 3 * p.M.Type.NodesPerElem()
+
+	workers := p.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	nElems := p.M.NumElems()
+	const chunk = 256
+	// Chunk buffers: ke/fe per element slot, filled concurrently, drained
+	// in element order.
+	kes := make([][]float64, chunk)
+	fes := make([][]float64, chunk)
+	for i := range kes {
+		kes[i] = make([]float64, ndof*ndof)
+		fes[i] = make([]float64, ndof)
+	}
+	scratch := make([]*elemScratch, workers)
+	for w := range scratch {
+		scratch[w] = newElemScratch(ndof)
+	}
+	flopsPerWorker := make([]int64, workers)
+	errPerWorker := make([]error, workers)
+
+	for e0 := 0; e0 < nElems; e0 += chunk {
+		e1 := e0 + chunk
+		if e1 > nElems {
+			e1 = nElems
+		}
+		if workers == 1 {
+			for e := e0; e < e1; e++ {
+				fl, err := p.integrateElement(e, u, scratch[0], kes[e-e0], fes[e-e0])
+				if err != nil {
+					return nil, nil, err
+				}
+				flopsPerWorker[0] += fl
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for e := e0 + w; e < e1; e += workers {
+						fl, err := p.integrateElement(e, u, scratch[w], kes[e-e0], fes[e-e0])
+						if err != nil {
+							errPerWorker[w] = err
+							return
+						}
+						flopsPerWorker[w] += fl
+					}
+				}(w)
+			}
+			wg.Wait()
+			for _, err := range errPerWorker {
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		// Deterministic accumulation in element order.
+		for e := e0; e < e1; e++ {
+			conn := p.M.Elems[e]
+			ke := kes[e-e0]
+			fe := fes[e-e0]
+			for a, va := range conn {
+				for i := 0; i < 3; i++ {
+					ga := 3*va + i
+					li := 3*a + i
+					fint[ga] += fe[li]
+					for bn, vb := range conn {
+						for j := 0; j < 3; j++ {
+							kb.Add(ga, 3*vb+j, ke[li*ndof+3*bn+j])
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, fl := range flopsPerWorker {
+		p.AssembleFlops += fl
+	}
+	return kb.Build(), fint, nil
+}
+
+// Commit recomputes the material response at u and stores the new history
+// (called once per converged load step). Elements are independent, so with
+// Workers > 1 the update runs concurrently.
+func (p *Problem) Commit(u []float64) error {
+	workers := p.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for e := w; e < p.M.NumElems(); e += workers {
+				ed, err := p.geometry(e)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				model := p.Models[p.M.Mat[e]]
+				for g := range p.gauss() {
+					eps := p.strainAt(e, ed, g, u)
+					_, _, next := model.Update(p.States[e][g], eps)
+					p.States[e][g] = next
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PlasticFraction returns the fraction of integration points currently in
+// the plastic state among elements with the given material id (Figure 13
+// left reports this for the "hard" shells).
+func (p *Problem) PlasticFraction(matID int) float64 {
+	total, plastic := 0, 0
+	for e := range p.M.Elems {
+		if p.M.Mat[e] != matID {
+			continue
+		}
+		for _, s := range p.States[e] {
+			total++
+			if s.Plastic {
+				plastic++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(plastic) / float64(total)
+}

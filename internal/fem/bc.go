@@ -1,0 +1,113 @@
+package fem
+
+import (
+	"prometheus/internal/sparse"
+)
+
+// Constraints holds Dirichlet boundary conditions as dof -> prescribed
+// value. The solver eliminates constrained dofs, producing a reduced SPD
+// system over the free dofs (the approach used throughout: the coarse grids
+// carry no constraints of their own, the Galerkin products inherit them).
+type Constraints struct {
+	Fixed map[int]float64
+}
+
+// NewConstraints returns an empty constraint set.
+func NewConstraints() *Constraints {
+	return &Constraints{Fixed: make(map[int]float64)}
+}
+
+// FixVert constrains all three dofs of vertex v to the given displacement.
+func (c *Constraints) FixVert(v int, ux, uy, uz float64) {
+	c.Fixed[3*v] = ux
+	c.Fixed[3*v+1] = uy
+	c.Fixed[3*v+2] = uz
+}
+
+// FixDof constrains a single dof (3*vert + comp).
+func (c *Constraints) FixDof(dof int, val float64) { c.Fixed[dof] = val }
+
+// SetScale multiplies every prescribed value by s (load stepping of the
+// displacement-driven problems).
+func (c *Constraints) Scaled(s float64) *Constraints {
+	out := NewConstraints()
+	for d, v := range c.Fixed {
+		out.Fixed[d] = v * s
+	}
+	return out
+}
+
+// DofMap relates the full dof numbering to the reduced (free) numbering.
+type DofMap struct {
+	Full2Red []int // -1 for constrained dofs
+	Red2Full []int
+}
+
+// NumFree returns the number of free dofs.
+func (m *DofMap) NumFree() int { return len(m.Red2Full) }
+
+// NewDofMap builds the mapping for n total dofs under the constraints.
+func (c *Constraints) NewDofMap(n int) *DofMap {
+	m := &DofMap{Full2Red: make([]int, n)}
+	for d := 0; d < n; d++ {
+		if _, fixed := c.Fixed[d]; fixed {
+			m.Full2Red[d] = -1
+			continue
+		}
+		m.Full2Red[d] = len(m.Red2Full)
+		m.Red2Full = append(m.Red2Full, d)
+	}
+	return m
+}
+
+// Apply writes the prescribed values into the full displacement vector.
+func (c *Constraints) Apply(u []float64) {
+	for d, v := range c.Fixed {
+		u[d] = v
+	}
+}
+
+// Reduce eliminates the constrained dofs from the full system K·u = f:
+// it returns the reduced matrix over free dofs and the reduced right-hand
+// side fRed = f_free - K_fc·u_c with the prescribed values u_c.
+func (c *Constraints) Reduce(k *sparse.CSR, f []float64, m *DofMap) (*sparse.CSR, []float64) {
+	nRed := m.NumFree()
+	kb := sparse.NewBuilder(nRed, nRed)
+	fr := make([]float64, nRed)
+	for rFull, rRed := range m.Full2Red {
+		if rRed < 0 {
+			continue
+		}
+		fr[rRed] = f[rFull]
+		cols, vals := k.Row(rFull)
+		for i, cFull := range cols {
+			if cRed := m.Full2Red[cFull]; cRed >= 0 {
+				kb.Add(rRed, cRed, vals[i])
+			} else {
+				fr[rRed] -= vals[i] * c.Fixed[cFull]
+			}
+		}
+	}
+	return kb.Build(), fr
+}
+
+// Expand scatters a reduced vector into a full vector, filling constrained
+// entries with their prescribed values.
+func (c *Constraints) Expand(red []float64, m *DofMap, full []float64) {
+	for d := range full {
+		full[d] = 0
+	}
+	c.Apply(full)
+	for r, d := range m.Red2Full {
+		full[d] = red[r]
+	}
+}
+
+// RestrictVec gathers the free entries of a full vector.
+func (m *DofMap) RestrictVec(full []float64) []float64 {
+	out := make([]float64, m.NumFree())
+	for r, d := range m.Red2Full {
+		out[r] = full[d]
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecOps(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, -5, 6}
+	if got := v.Add(w); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Dot(w); got != 1*4-2*5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Cross(w); got != (Vec3{2*6 - 3*(-5), 3*4 - 1*6, 1*(-5) - 2*4}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := (Vec3{0, 0, 0}).Normalize(); got != (Vec3{}) {
+		t.Errorf("Normalize zero = %v", got)
+	}
+	if got := (Vec3{0, 0, 2}).Normalize(); got != (Vec3{0, 0, 1}) {
+		t.Errorf("Normalize = %v", got)
+	}
+}
+
+func TestCrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{ax, ay, az}
+		b := Vec3{bx, by, bz}
+		c := a.Cross(b)
+		scale := a.Norm() * b.Norm()
+		if scale == 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+			return true
+		}
+		return math.Abs(c.Dot(a))/scale < 1e-9 && math.Abs(c.Dot(b))/scale < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAABB(t *testing.T) {
+	pts := []Vec3{{0, 0, 0}, {1, 2, 3}, {-1, 5, 2}}
+	b := NewAABB(pts)
+	if b.Min != (Vec3{-1, 0, 0}) || b.Max != (Vec3{1, 5, 3}) {
+		t.Fatalf("box = %+v", b)
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("box should contain %v", p)
+		}
+	}
+	if b.Contains(Vec3{2, 0, 0}) {
+		t.Error("box should not contain (2,0,0)")
+	}
+	e := b.Expand(1)
+	if !e.Contains(Vec3{1.5, -0.5, 3.5}) {
+		t.Error("expanded box missing point")
+	}
+	if c := b.Center(); c != (Vec3{0, 2.5, 1.5}) {
+		t.Errorf("center = %v", c)
+	}
+}
+
+func TestOrient3D(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	c := Vec3{0, 1, 0}
+	// Shewchuk convention: d above the plane (a,b,c counterclockwise from
+	// above) gives a negative determinant, d below gives positive.
+	if got := Orient3D(a, b, c, Vec3{0, 0, 1}); got >= 0 {
+		t.Errorf("Orient3D above plane = %v, want < 0", got)
+	}
+	if got := Orient3D(a, b, c, Vec3{0, 0, -1}); got <= 0 {
+		t.Errorf("Orient3D below plane = %v, want > 0", got)
+	}
+	if got := Orient3D(a, b, c, Vec3{0.25, 0.25, 0}); got != 0 {
+		t.Errorf("coplanar Orient3D = %v, want 0", got)
+	}
+}
+
+func TestOrient3DConsistentWithVolume(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := randVec(rng)
+		b := randVec(rng)
+		c := randVec(rng)
+		d := randVec(rng)
+		o := Orient3D(a, b, c, d)
+		v := TetVolume(a, b, c, d)
+		// Orient3D(a,b,c,d) > 0 <=> d below plane(a,b,c) <=> signed volume < 0.
+		if o > 0 && v >= 0 || o < 0 && v <= 0 {
+			t.Fatalf("sign mismatch: orient=%v vol=%v", o, v)
+		}
+	}
+}
+
+func TestInSphere(t *testing.T) {
+	// Regular tetrahedron-ish: unit tet with positive Orient3D ordering.
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	c := Vec3{0, 1, 0}
+	d := Vec3{0, 0, -1} // below plane so Orient3D(a,b,c,d) > 0
+	if Orient3D(a, b, c, d) <= 0 {
+		t.Fatal("test setup: tetrahedron not positively oriented")
+	}
+	center, ok := Circumcenter(a, b, c, d)
+	if !ok {
+		t.Fatal("degenerate circumcenter")
+	}
+	if got := InSphere(a, b, c, d, center); got <= 0 {
+		t.Errorf("InSphere(center) = %v, want > 0", got)
+	}
+	far := Vec3{100, 100, 100}
+	if got := InSphere(a, b, c, d, far); got >= 0 {
+		t.Errorf("InSphere(far) = %v, want < 0", got)
+	}
+	// A vertex of the tetrahedron is on the sphere: filter returns 0.
+	if got := InSphere(a, b, c, d, a); got != 0 {
+		t.Errorf("InSphere(vertex) = %v, want 0", got)
+	}
+}
+
+func TestInSphereRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a, b, c, d := randVec(rng), randVec(rng), randVec(rng), randVec(rng)
+		if Orient3D(a, b, c, d) <= 0 {
+			a, b = b, a
+		}
+		if Orient3D(a, b, c, d) <= 0 {
+			continue // degenerate
+		}
+		ctr, ok := Circumcenter(a, b, c, d)
+		if !ok {
+			continue
+		}
+		r := ctr.Dist(a)
+		// A point clearly inside.
+		if got := InSphere(a, b, c, d, ctr); got <= 0 {
+			t.Fatalf("center not inside: %v", got)
+		}
+		// A point clearly outside along +x.
+		out := ctr.Add(Vec3{2 * r, 0, 0})
+		if got := InSphere(a, b, c, d, out); got >= 0 {
+			t.Fatalf("outside point reported inside: %v", got)
+		}
+	}
+}
+
+func TestBarycentric(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	c := Vec3{0, 1, 0}
+	d := Vec3{0, 0, 1}
+	w, ok := Barycentric(a, b, c, d, Vec3{0.25, 0.25, 0.25})
+	if !ok {
+		t.Fatal("degenerate")
+	}
+	sum := 0.0
+	for _, wi := range w {
+		sum += wi
+		if wi < 0 || wi > 1 {
+			t.Errorf("weight out of range: %v", w)
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	// At a vertex the weight is 1 for that vertex.
+	w, _ = Barycentric(a, b, c, d, b)
+	if math.Abs(w[1]-1) > 1e-12 {
+		t.Errorf("vertex weight = %v", w)
+	}
+	// Degenerate tetrahedron.
+	if _, ok := Barycentric(a, b, c, a.Add(b).Scale(0.5), Vec3{}); ok {
+		t.Error("expected failure on flat tetrahedron")
+	}
+}
+
+func TestBarycentricPartitionOfUnity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b, c, d := randVec(rng), randVec(rng), randVec(rng), randVec(rng)
+		p := randVec(rng)
+		w, ok := Barycentric(a, b, c, d, p)
+		if !ok {
+			return true
+		}
+		sum := w[0] + w[1] + w[2] + w[3]
+		if math.Abs(sum-1) > 1e-6 {
+			return false
+		}
+		// Reconstruction: sum w_i * v_i == p.
+		rec := a.Scale(w[0]).Add(b.Scale(w[1])).Add(c.Scale(w[2])).Add(d.Scale(w[3]))
+		return rec.Dist(p) < 1e-6*(1+p.Norm())
+	}
+	for i := 0; i < 300; i++ {
+		if !f() {
+			t.Fatal("barycentric reconstruction failed")
+		}
+	}
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	p1 := Perturb(42, 1e-9)
+	p2 := Perturb(42, 1e-9)
+	if p1 != p2 {
+		t.Error("Perturb is not deterministic")
+	}
+	if p1 == Perturb(43, 1e-9) {
+		t.Error("Perturb collision for adjacent ids")
+	}
+	if math.Abs(p1.X) > 1e-9 || math.Abs(p1.Y) > 1e-9 || math.Abs(p1.Z) > 1e-9 {
+		t.Errorf("Perturb out of range: %v", p1)
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		a, b, c, d := randVec(rng), randVec(rng), randVec(rng), randVec(rng)
+		ctr, ok := Circumcenter(a, b, c, d)
+		if !ok {
+			continue
+		}
+		r := ctr.Dist(a)
+		for _, p := range []Vec3{b, c, d} {
+			if math.Abs(ctr.Dist(p)-r) > 1e-6*(1+r) {
+				t.Fatalf("circumcenter not equidistant: %v vs %v", ctr.Dist(p), r)
+			}
+		}
+	}
+}
+
+func randVec(rng *rand.Rand) Vec3 {
+	return Vec3{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+}

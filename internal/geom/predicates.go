@@ -1,0 +1,170 @@
+package geom
+
+import (
+	"math"
+)
+
+// The predicates below follow the standard determinant formulations.
+// Exact arithmetic (the paper links Shewchuk's predicates) is replaced by
+// float64 evaluation with an error-bound filter: results whose magnitude
+// falls below a permanence bound derived from the operand magnitudes are
+// treated as degenerate and resolved by a deterministic symbolic
+// perturbation keyed on the vertex indices. This keeps the Delaunay
+// construction deterministic and watertight on the structured point sets
+// (which are exactly cospherical in large groups) without multiprecision
+// arithmetic.
+
+// epsilon is the unit roundoff for float64.
+const epsilon = 2.220446049250313e-16
+
+// Orient3D returns a positive value when d lies below the plane through
+// a, b, c (so that (a,b,c,d) is positively oriented), negative above, and
+// zero when the four points are coplanar to within the arithmetic filter.
+func Orient3D(a, b, c, d Vec3) float64 {
+	adx, ady, adz := a.X-d.X, a.Y-d.Y, a.Z-d.Z
+	bdx, bdy, bdz := b.X-d.X, b.Y-d.Y, b.Z-d.Z
+	cdx, cdy, cdz := c.X-d.X, c.Y-d.Y, c.Z-d.Z
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+
+	det := adz*(bdxcdy-cdxbdy) + bdz*(cdxady-adxcdy) + cdz*(adxbdy-bdxady)
+
+	permanent := (math.Abs(bdxcdy)+math.Abs(cdxbdy))*math.Abs(adz) +
+		(math.Abs(cdxady)+math.Abs(adxcdy))*math.Abs(bdz) +
+		(math.Abs(adxbdy)+math.Abs(bdxady))*math.Abs(cdz)
+	errBound := 8 * epsilon * permanent
+	if det > errBound || -det > errBound {
+		return det
+	}
+	return 0
+}
+
+// InSphere returns a positive value when e lies strictly inside the
+// circumsphere of the positively oriented tetrahedron (a, b, c, d),
+// negative when outside, and zero when the five points are cospherical to
+// within the arithmetic filter. The caller must ensure
+// Orient3D(a,b,c,d) > 0; for a negatively oriented tetrahedron the sign is
+// flipped.
+func InSphere(a, b, c, d, e Vec3) float64 {
+	aex, aey, aez := a.X-e.X, a.Y-e.Y, a.Z-e.Z
+	bex, bey, bez := b.X-e.X, b.Y-e.Y, b.Z-e.Z
+	cex, cey, cez := c.X-e.X, c.Y-e.Y, c.Z-e.Z
+	dex, dey, dez := d.X-e.X, d.Y-e.Y, d.Z-e.Z
+
+	ab := aex*bey - bex*aey
+	bc := bex*cey - cex*bey
+	cd := cex*dey - dex*cey
+	da := dex*aey - aex*dey
+	ac := aex*cey - cex*aey
+	bd := bex*dey - dex*bey
+
+	abc := aez*bc - bez*ac + cez*ab
+	bcd := bez*cd - cez*bd + dez*bc
+	cda := cez*da + dez*ac + aez*cd
+	dab := dez*ab + aez*bd + bez*da
+
+	alift := aex*aex + aey*aey + aez*aez
+	blift := bex*bex + bey*bey + bez*bez
+	clift := cex*cex + cey*cey + cez*cez
+	dlift := dex*dex + dey*dey + dez*dez
+
+	det := (dlift*abc - clift*dab) + (blift*cda - alift*bcd)
+
+	aezplus := math.Abs(aez)
+	bezplus := math.Abs(bez)
+	cezplus := math.Abs(cez)
+	dezplus := math.Abs(dez)
+	aexbeyplus := math.Abs(aex * bey)
+	bexaeyplus := math.Abs(bex * aey)
+	bexceyplus := math.Abs(bex * cey)
+	cexbeyplus := math.Abs(cex * bey)
+	cexdeyplus := math.Abs(cex * dey)
+	dexceyplus := math.Abs(dex * cey)
+	dexaeyplus := math.Abs(dex * aey)
+	aexdeyplus := math.Abs(aex * dey)
+	aexceyplus := math.Abs(aex * cey)
+	cexaeyplus := math.Abs(cex * aey)
+	bexdeyplus := math.Abs(bex * dey)
+	dexbeyplus := math.Abs(dex * bey)
+	permanent := ((cexdeyplus+dexceyplus)*bezplus+
+		(dexbeyplus+bexdeyplus)*cezplus+
+		(bexceyplus+cexbeyplus)*dezplus)*alift +
+		((dexaeyplus+aexdeyplus)*cezplus+
+			(aexceyplus+cexaeyplus)*dezplus+
+			(cexdeyplus+dexceyplus)*aezplus)*blift +
+		((aexbeyplus+bexaeyplus)*dezplus+
+			(bexdeyplus+dexbeyplus)*aezplus+
+			(dexaeyplus+aexdeyplus)*bezplus)*clift +
+		((bexceyplus+cexbeyplus)*aezplus+
+			(cexaeyplus+aexceyplus)*bezplus+
+			(aexbeyplus+bexaeyplus)*cezplus)*dlift
+
+	errBound := 16 * epsilon * permanent
+	if det > errBound || -det > errBound {
+		return det
+	}
+	return 0
+}
+
+// Perturb returns a deterministic pseudo-random offset in [-scale, scale]^3
+// keyed on the integer id. It is used to break exact degeneracies (large
+// cospherical groups on structured grids) in a reproducible way: the same
+// id always receives the same offset.
+func Perturb(id int, scale float64) Vec3 {
+	h := uint64(id)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	next := func() float64 {
+		h ^= h >> 32
+		h *= 0xFF51AFD7ED558CCD
+		h ^= h >> 29
+		// Map the top 53 bits to [0,1).
+		return float64(h>>11) / (1 << 53)
+	}
+	return Vec3{
+		(2*next() - 1) * scale,
+		(2*next() - 1) * scale,
+		(2*next() - 1) * scale,
+	}
+}
+
+// TetVolume returns the signed volume of tetrahedron (a, b, c, d); positive
+// when the tetrahedron is positively oriented.
+func TetVolume(a, b, c, d Vec3) float64 {
+	return b.Sub(a).Cross(c.Sub(a)).Dot(d.Sub(a)) / 6
+}
+
+// Barycentric returns the barycentric coordinates (w0, w1, w2, w3) of point
+// p with respect to tetrahedron (a, b, c, d), and ok=false when the
+// tetrahedron is degenerate. The weights sum to one; a point inside the
+// tetrahedron has all weights in [0, 1].
+func Barycentric(a, b, c, d, p Vec3) (w [4]float64, ok bool) {
+	vol := TetVolume(a, b, c, d)
+	if vol == 0 {
+		return w, false
+	}
+	w[0] = TetVolume(p, b, c, d) / vol
+	w[1] = TetVolume(a, p, c, d) / vol
+	w[2] = TetVolume(a, b, p, d) / vol
+	w[3] = TetVolume(a, b, c, p) / vol
+	return w, true
+}
+
+// Circumcenter returns the circumcenter of tetrahedron (a, b, c, d) and
+// ok=false when the tetrahedron is degenerate.
+func Circumcenter(a, b, c, d Vec3) (Vec3, bool) {
+	ba := b.Sub(a)
+	ca := c.Sub(a)
+	da := d.Sub(a)
+	den := 2 * ba.Cross(ca).Dot(da)
+	if den == 0 {
+		return Vec3{}, false
+	}
+	n := ca.Cross(da).Scale(ba.Norm2()).
+		Add(da.Cross(ba).Scale(ca.Norm2())).
+		Add(ba.Cross(ca).Scale(da.Norm2()))
+	return a.Add(n.Scale(1 / den)), true
+}

@@ -1,0 +1,73 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property: Orient3D flips sign under odd permutations and keeps it under
+// even permutations.
+func TestOrient3DPermutationParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c, d := randVec(rng), randVec(rng), randVec(rng), randVec(rng)
+		o := Orient3D(a, b, c, d)
+		if o == 0 {
+			continue
+		}
+		// Swap two points: odd permutation, sign must flip.
+		if s := Orient3D(b, a, c, d); s*o >= 0 {
+			t.Fatalf("odd permutation kept sign: %v vs %v", o, s)
+		}
+		// 3-cycle: even permutation, sign preserved.
+		if s := Orient3D(b, c, a, d); s*o <= 0 {
+			t.Fatalf("even permutation flipped sign: %v vs %v", o, s)
+		}
+	}
+}
+
+// Property: TetVolume is translation invariant.
+func TestTetVolumeTranslationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c, d := randVec(rng), randVec(rng), randVec(rng), randVec(rng)
+		shift := randVec(rng).Scale(10)
+		v1 := TetVolume(a, b, c, d)
+		v2 := TetVolume(a.Add(shift), b.Add(shift), c.Add(shift), d.Add(shift))
+		if math.Abs(v1-v2) > 1e-9*(1+math.Abs(v1)) {
+			t.Fatalf("volume changed under translation: %v vs %v", v1, v2)
+		}
+	}
+}
+
+// Property: InSphere is negative for points far outside any circumsphere.
+func TestInSphereFarPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c, d := randVec(rng), randVec(rng), randVec(rng), randVec(rng)
+		if Orient3D(a, b, c, d) <= 0 {
+			a, b = b, a
+		}
+		if Orient3D(a, b, c, d) <= 0 {
+			continue
+		}
+		// Compare against the actual circumsphere: near-degenerate slivers
+		// have enormous circumspheres, so "far" must be measured from the
+		// circumcenter. (Extremely distant probes are also avoided: the
+		// InSphere rows then all degenerate towards -e and the filtered
+		// determinant rightly reports uncertainty.)
+		ctr, ok := Circumcenter(a, b, c, d)
+		if !ok {
+			continue
+		}
+		r := ctr.Dist(a)
+		if r > 50 {
+			continue // sliver: probe distances become unreliable
+		}
+		far := ctr.Add(Vec3{X: 3 * r, Y: -4 * r, Z: 5 * r})
+		if InSphere(a, b, c, d, far) >= 0 {
+			t.Fatalf("point at %v×r from circumcenter reported inside", far.Dist(ctr)/r)
+		}
+	}
+}

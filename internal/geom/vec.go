@@ -1,0 +1,106 @@
+// Package geom provides the small geometric toolkit used throughout the
+// solver: 3-vectors, axis-aligned bounding boxes, and the orientation and
+// in-sphere predicates needed by the Delaunay remesher and the face
+// identification algorithm.
+//
+// The paper uses Shewchuk's adaptive-precision predicates; we substitute
+// float64 arithmetic with a deterministic symbolic perturbation (see
+// predicates.go), which is sufficient for the regularly structured and
+// randomly jittered point sets exercised here. Fine vertices for which
+// point location nonetheless fails are handled by the coarsening layer's
+// "lost vertex" fallback, exactly as in the paper (section 4.8).
+package geom
+
+import "math"
+
+// Vec3 is a point or vector in R^3.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// AABB is an axis-aligned bounding box.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// NewAABB returns the bounding box of the given points. An empty point set
+// yields an inverted (empty) box.
+func NewAABB(pts []Vec3) AABB {
+	b := AABB{
+		Min: Vec3{math.Inf(1), math.Inf(1), math.Inf(1)},
+		Max: Vec3{math.Inf(-1), math.Inf(-1), math.Inf(-1)},
+	}
+	for _, p := range pts {
+		b.Include(p)
+	}
+	return b
+}
+
+// Include grows the box to contain p.
+func (b *AABB) Include(p Vec3) {
+	b.Min.X = math.Min(b.Min.X, p.X)
+	b.Min.Y = math.Min(b.Min.Y, p.Y)
+	b.Min.Z = math.Min(b.Min.Z, p.Z)
+	b.Max.X = math.Max(b.Max.X, p.X)
+	b.Max.Y = math.Max(b.Max.Y, p.Y)
+	b.Max.Z = math.Max(b.Max.Z, p.Z)
+}
+
+// Contains reports whether p lies inside the (closed) box.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Center returns the midpoint of the box.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Diagonal returns the length of the box diagonal.
+func (b AABB) Diagonal() float64 { return b.Max.Sub(b.Min).Norm() }
+
+// Expand returns the box grown by margin in every direction.
+func (b AABB) Expand(margin float64) AABB {
+	m := Vec3{margin, margin, margin}
+	return AABB{Min: b.Min.Sub(m), Max: b.Max.Add(m)}
+}

@@ -1,0 +1,171 @@
+package graph
+
+import "sort"
+
+// Vertex states of the greedy MIS algorithm (Figure 2 of the paper).
+const (
+	Undone = iota
+	Selected
+	Deleted
+)
+
+// MIS computes a maximal independent set with the greedy algorithm of
+// Figure 2. order gives the traversal order of the vertices (a permutation
+// of 0..N-1); rank gives each vertex's rank (section 4.2): a vertex may not
+// be deleted by a neighbour of strictly lower rank — instead the lower-rank
+// vertex is skipped, implementing "a vertex of lower rank does not suppress
+// a vertex of higher rank" (section 4.6). immortal vertices (the paper's
+// corners, "we do not allow corners to be deleted at all") are always
+// selected when visited and can never be deleted. order is required; rank
+// and immortal may be nil.
+//
+// The returned slice contains the selected vertices in traversal order.
+func MIS(g *Graph, order []int, rank []int, immortal []bool) []int {
+	if len(order) != g.N {
+		panic("graph: MIS order must be a permutation of the vertices")
+	}
+	state := make([]int8, g.N)
+	var mis []int
+	rk := func(v int) int {
+		if rank == nil {
+			return 0
+		}
+		return rank[v]
+	}
+	imm := func(v int) bool { return immortal != nil && immortal[v] }
+
+	// First pass: immortal vertices are selected up front (they can never
+	// be deleted), deleting their deletable neighbours.
+	for _, v := range order {
+		if !imm(v) || state[v] != Undone {
+			continue
+		}
+		state[v] = Selected
+		mis = append(mis, v)
+		for _, w := range g.Neighbors(v) {
+			if state[w] == Undone && !imm(w) {
+				state[w] = Deleted
+			}
+		}
+	}
+
+	// Greedy pass in traversal order with the rank guard.
+	for _, v := range order {
+		if state[v] != Undone {
+			continue
+		}
+		// v may be selected only if no undone neighbour outranks it.
+		blocked := false
+		for _, w := range g.Neighbors(v) {
+			if state[w] == Undone && rk(w) > rk(v) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		state[v] = Selected
+		mis = append(mis, v)
+		for _, w := range g.Neighbors(v) {
+			if state[w] == Undone && !imm(w) {
+				state[w] = Deleted
+			}
+		}
+	}
+
+	// Cleanup pass: rank-blocking can strand vertices whose higher-rank
+	// neighbours were later deleted by someone else; sweep until maximal.
+	for changed := true; changed; {
+		changed = false
+		for _, v := range order {
+			if state[v] != Undone {
+				continue
+			}
+			free := true
+			for _, w := range g.Neighbors(v) {
+				if state[w] == Selected {
+					free = false
+					break
+				}
+			}
+			if free {
+				state[v] = Selected
+				mis = append(mis, v)
+				for _, w := range g.Neighbors(v) {
+					if state[w] == Undone && !imm(w) {
+						state[w] = Deleted
+					}
+				}
+				changed = true
+			} else {
+				state[v] = Deleted
+				changed = true
+			}
+		}
+	}
+	return mis
+}
+
+// IsIndependent reports whether no two vertices of set are adjacent in g.
+func IsIndependent(g *Graph, set []int) bool {
+	in := make([]bool, g.N)
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range set {
+		for _, w := range g.Neighbors(v) {
+			if in[w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximal reports whether set is independent and no vertex outside set
+// could be added while preserving independence.
+func IsMaximal(g *Graph, set []int) bool {
+	if !IsIndependent(g, set) {
+		return false
+	}
+	in := make([]bool, g.N)
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := 0; v < g.N; v++ {
+		if in[v] {
+			continue
+		}
+		covered := false
+		for _, w := range g.Neighbors(v) {
+			if in[w] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// RankedOrder returns a traversal order that visits vertices by descending
+// rank (the paper's topological categories: corners before edges before
+// surfaces before interiors) and by the given within-rank order. within is
+// a permutation of 0..n-1 giving the tie-break order.
+func RankedOrder(rank []int, within []int) []int {
+	n := len(rank)
+	order := append([]int(nil), within...)
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return rank[order[a]] > rank[order[b]]
+	})
+	return order
+}

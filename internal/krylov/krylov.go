@@ -1,0 +1,296 @@
+// Package krylov implements the outer iterative solvers: conjugate
+// gradients with and without preconditioning (the paper's solver is CG
+// preconditioned with one full multigrid cycle) and restarted GMRES (the
+// solver family of the Owen et al. comparison [18]). Iteration counts,
+// residual histories and flop counts are recorded for the efficiency
+// analysis of section 6.
+package krylov
+
+import (
+	"math"
+
+	"prometheus/internal/la"
+	"prometheus/internal/sparse"
+)
+
+// Preconditioner approximately solves A·z = r from a zero initial guess.
+type Preconditioner interface {
+	Apply(r, z []float64)
+}
+
+// Result reports the outcome of a Krylov solve.
+type Result struct {
+	Iterations int
+	Residuals  []float64 // ‖r‖₂ after each iteration (index 0 = initial)
+	Flops      int64
+	Converged  bool
+}
+
+// identity is the trivial preconditioner.
+type identity struct{}
+
+func (identity) Apply(r, z []float64) { copy(z, r) }
+
+// CG solves A·x = b with plain conjugate gradients.
+func CG(a *sparse.CSR, b, x []float64, rtol float64, maxIter int) Result {
+	return PCG(a, b, x, identity{}, rtol, maxIter)
+}
+
+// PCG solves A·x = b with preconditioned conjugate gradients, starting from
+// the given x. Convergence is declared when ‖b - A·x‖₂ ≤ rtol·‖b‖₂ (the
+// paper's relative residual criterion).
+func PCG(a *sparse.CSR, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
+	n := a.NRows
+	if m == nil {
+		m = identity{}
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	var res Result
+
+	a.Residual(b, x, r)
+	res.Flops += a.MulVecFlops() + int64(n)
+	bnorm := la.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rnorm := la.Norm2(r)
+	res.Residuals = append(res.Residuals, rnorm)
+	if rnorm <= rtol*bnorm {
+		res.Converged = true
+		return res
+	}
+	m.Apply(r, z)
+	copy(p, z)
+	rz := la.Dot(r, z)
+	res.Flops += 2 * int64(n)
+
+	for it := 0; it < maxIter; it++ {
+		a.MulVec(p, ap)
+		pap := la.Dot(p, ap)
+		res.Flops += a.MulVecFlops() + 2*int64(n)
+		if pap <= 0 {
+			// Indefinite preconditioned operator: abort (caller sees
+			// Converged=false).
+			break
+		}
+		alpha := rz / pap
+		la.Axpy(alpha, p, x)
+		la.Axpy(-alpha, ap, r)
+		res.Flops += 4 * int64(n)
+		rnorm = la.Norm2(r)
+		res.Flops += 2 * int64(n)
+		res.Iterations++
+		res.Residuals = append(res.Residuals, rnorm)
+		if rnorm <= rtol*bnorm {
+			res.Converged = true
+			return res
+		}
+		m.Apply(r, z)
+		rzNew := la.Dot(r, z)
+		res.Flops += 2 * int64(n)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		res.Flops += 2 * int64(n)
+	}
+	return res
+}
+
+// FPCG solves A·x = b with flexible preconditioned conjugate gradients
+// (Polak-Ribière beta), which remains robust when the preconditioner is not
+// exactly symmetric — the full-multigrid (FMG) cycle the paper
+// preconditions with is such an operator. For a symmetric preconditioner
+// FPCG reproduces PCG at the cost of one extra stored vector.
+func FPCG(a *sparse.CSR, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
+	n := a.NRows
+	if m == nil {
+		m = identity{}
+	}
+	r := make([]float64, n)
+	rPrev := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	var res Result
+
+	a.Residual(b, x, r)
+	res.Flops += a.MulVecFlops() + int64(n)
+	bnorm := la.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rnorm := la.Norm2(r)
+	res.Residuals = append(res.Residuals, rnorm)
+	if rnorm <= rtol*bnorm {
+		res.Converged = true
+		return res
+	}
+	m.Apply(r, z)
+	copy(p, z)
+	rz := la.Dot(r, z)
+	res.Flops += 2 * int64(n)
+
+	for it := 0; it < maxIter; it++ {
+		a.MulVec(p, ap)
+		pap := la.Dot(p, ap)
+		res.Flops += a.MulVecFlops() + 2*int64(n)
+		if pap <= 0 {
+			break
+		}
+		alpha := rz / pap
+		la.Axpy(alpha, p, x)
+		copy(rPrev, r)
+		la.Axpy(-alpha, ap, r)
+		res.Flops += 4 * int64(n)
+		rnorm = la.Norm2(r)
+		res.Flops += 2 * int64(n)
+		res.Iterations++
+		res.Residuals = append(res.Residuals, rnorm)
+		if rnorm <= rtol*bnorm {
+			res.Converged = true
+			return res
+		}
+		m.Apply(r, z)
+		// Polak-Ribière: beta = z·(r - rPrev) / (z_prev·r_prev) = flexible.
+		num := 0.0
+		for i := 0; i < n; i++ {
+			num += z[i] * (r[i] - rPrev[i])
+		}
+		res.Flops += 3 * int64(n)
+		beta := num / rz
+		if beta < 0 {
+			beta = 0 // restart direction
+		}
+		rz = la.Dot(r, z)
+		res.Flops += 2 * int64(n)
+		if rz == 0 {
+			break
+		}
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		res.Flops += 2 * int64(n)
+	}
+	return res
+}
+
+// GMRES solves A·x = b with restarted GMRES(m) and left preconditioning.
+func GMRES(a *sparse.CSR, b, x []float64, m Preconditioner, restart int, rtol float64, maxIter int) Result {
+	n := a.NRows
+	if m == nil {
+		m = identity{}
+	}
+	if restart < 1 {
+		restart = 30
+	}
+	var res Result
+	r := make([]float64, n)
+	z := make([]float64, n)
+	w := make([]float64, n)
+
+	bnorm := la.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+
+	// Krylov basis and Hessenberg (restart+1 columns).
+	v := make([][]float64, restart+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, restart+1)
+	for i := range h {
+		h[i] = make([]float64, restart)
+	}
+	cs := make([]float64, restart)
+	sn := make([]float64, restart)
+	g := make([]float64, restart+1)
+
+	total := 0
+	for total < maxIter {
+		a.Residual(b, x, r)
+		res.Flops += a.MulVecFlops() + int64(n)
+		if len(res.Residuals) == 0 {
+			res.Residuals = append(res.Residuals, la.Norm2(r))
+		}
+		m.Apply(r, z)
+		beta := la.Norm2(z)
+		res.Flops += 2 * int64(n)
+		if beta == 0 {
+			res.Converged = true
+			return res
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+		copy(v[0], z)
+		la.Scal(1/beta, v[0])
+
+		k := 0
+		for ; k < restart && total < maxIter; k++ {
+			total++
+			a.MulVec(v[k], w)
+			m.Apply(w, z)
+			res.Flops += a.MulVecFlops() + int64(n)
+			// Modified Gram-Schmidt.
+			for i := 0; i <= k; i++ {
+				h[i][k] = la.Dot(z, v[i])
+				la.Axpy(-h[i][k], v[i], z)
+				res.Flops += 4 * int64(n)
+			}
+			h[k+1][k] = la.Norm2(z)
+			res.Flops += 2 * int64(n)
+			if h[k+1][k] != 0 {
+				copy(v[k+1], z)
+				la.Scal(1/h[k+1][k], v[k+1])
+			}
+			// Apply accumulated Givens rotations.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			den := math.Hypot(h[k][k], h[k+1][k])
+			if den == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k] = h[k][k] / den
+				sn[k] = h[k+1][k] / den
+			}
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			res.Iterations++
+			res.Residuals = append(res.Residuals, math.Abs(g[k+1]))
+			if math.Abs(g[k+1]) <= rtol*bnorm {
+				k++
+				res.Converged = true
+				break
+			}
+		}
+		// Solve the triangular system and update x.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h[i][j] * y[j]
+			}
+			y[i] = s / h[i][i]
+		}
+		for i := 0; i < k; i++ {
+			la.Axpy(y[i], v[i], x)
+			res.Flops += 2 * int64(n)
+		}
+		if res.Converged {
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,333 @@
+// Package la provides the small dense linear-algebra kernels used by the
+// element routines, the block-Jacobi smoother, and the coarsest-grid
+// solver: column-major-free row-major dense matrices with Cholesky and
+// partially pivoted LU factorizations, plus BLAS-1 style vector helpers.
+package la
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[i*Cols+j] = A(i,j)
+}
+
+// NewDense returns a zero r×c matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("la: negative dimension")
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns A(i,j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns A(i,j) = v.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates A(i,j) += v.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy of the matrix.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every entry to zero.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes y = A*x. y must have length Rows and x length Cols.
+func (m *Dense) MulVec(x, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic("la: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Mul returns C = A*B.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.Cols != b.Rows {
+		panic("la: Mul dimension mismatch")
+	}
+	c := NewDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+			for j, bv := range brow {
+				crow[j] += a * bv
+			}
+		}
+	}
+	return c
+}
+
+// Transpose returns Aᵀ.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// String formats the matrix for debugging.
+func (m *Dense) String() string {
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%12.5g ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// ErrNotSPD is returned by Cholesky when the matrix is not symmetric
+// positive definite (to within roundoff).
+var ErrNotSPD = errors.New("la: matrix is not positive definite")
+
+// ErrSingular is returned by LU when a zero pivot is encountered.
+var ErrSingular = errors.New("la: matrix is singular")
+
+// Cholesky holds the lower-triangular factor L with A = L·Lᵀ. The
+// transpose is stored explicitly so both triangular solves stream through
+// memory contiguously.
+type Cholesky struct {
+	N  int
+	L  []float64 // row-major lower triangle, full storage
+	Lt []float64 // row-major upper triangle (Lᵀ)
+}
+
+// NewCholesky factors the symmetric positive definite matrix A (only the
+// lower triangle is referenced).
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("la: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		li := l[i*n : i*n+i+1]
+		for j := 0; j <= i; j++ {
+			lj := l[j*n : j*n+j]
+			s := a.Data[i*n+j]
+			for k, lv := range lj {
+				s -= li[k] * lv
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrNotSPD
+				}
+				li[i] = math.Sqrt(s)
+			} else {
+				li[j] = s / l[j*n+j]
+			}
+		}
+	}
+	lt := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			lt[j*n+i] = l[i*n+j]
+		}
+	}
+	return &Cholesky{N: n, L: l, Lt: lt}, nil
+}
+
+// Solve computes x with A·x = b, overwriting x. b and x may alias.
+func (c *Cholesky) Solve(b, x []float64) {
+	n := c.N
+	if len(b) != n || len(x) != n {
+		panic("la: Cholesky.Solve dimension mismatch")
+	}
+	if &b[0] != &x[0] {
+		copy(x, b)
+	}
+	// Forward substitution L·y = b (row-contiguous).
+	for i := 0; i < n; i++ {
+		s := x[i]
+		row := c.L[i*n : i*n+i]
+		for k, lv := range row {
+			s -= lv * x[k]
+		}
+		x[i] = s / c.L[i*n+i]
+	}
+	// Back substitution Lᵀ·x = y using the contiguous transpose rows.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := c.Lt[i*n+i+1 : i*n+n]
+		xs := x[i+1 : n]
+		for k, lv := range row {
+			s -= lv * xs[k]
+		}
+		x[i] = s / c.Lt[i*n+i]
+	}
+}
+
+// LU holds a partially pivoted LU factorization P·A = L·U.
+type LU struct {
+	N    int
+	LU   []float64
+	Piv  []int
+	sign int
+}
+
+// NewLU factors A with partial pivoting.
+func NewLU(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("la: LU of non-square matrix")
+	}
+	n := a.Rows
+	lu := make([]float64, n*n)
+	copy(lu, a.Data)
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Pivot search.
+		p := k
+		maxv := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > maxv {
+				maxv, p = v, i
+			}
+		}
+		if maxv == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[p*n+j], lu[k*n+j] = lu[k*n+j], lu[p*n+j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivVal := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivVal
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+		}
+	}
+	return &LU{N: n, LU: lu, Piv: piv, sign: sign}, nil
+}
+
+// Solve computes x with A·x = b. b and x may alias.
+func (f *LU) Solve(b, x []float64) {
+	n := f.N
+	if len(b) != n || len(x) != n {
+		panic("la: LU.Solve dimension mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[f.Piv[i]]
+	}
+	// L·z = P·b (unit diagonal).
+	for i := 0; i < n; i++ {
+		s := y[i]
+		for k := 0; k < i; k++ {
+			s -= f.LU[i*n+k] * y[k]
+		}
+		y[i] = s
+	}
+	// U·x = z.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.LU[i*n+k] * y[k]
+		}
+		y[i] = s / f.LU[i*n+i]
+	}
+	copy(x, y)
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.N; i++ {
+		d *= f.LU[i*f.N+i]
+	}
+	return d
+}
+
+// Dot returns xᵀ·y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("la: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("la: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal scales x *= alpha.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Copy copies src into dst.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("la: Copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// MaxAbs returns the infinity norm of x.
+func MaxAbs(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,263 @@
+// Package material implements the constitutive models of the paper's model
+// problem (Table 1): linear elasticity, a compressible Neo-Hookean
+// hyperelastic model (the "soft" material, E = 1e-4, nu = 0.49), and J2
+// plasticity with kinematic hardening via radial return (the "hard"
+// material, sigma_y = 1e-3, H = 0.002E). The paper evaluates these at large
+// deformation with mixed elements; we evaluate them in an incremental
+// small-strain setting with B-bar elements, which preserves the
+// solver-relevant structure (near-incompressibility, 1e4 stiffness jumps,
+// progressive yielding) — see DESIGN.md, substitution 3 and 4.
+//
+// Stress and strain use Voigt notation with engineering shear strains:
+// (xx, yy, zz, xy, yz, zx), gamma_ij = 2*eps_ij.
+package material
+
+import "math"
+
+// Voigt is a symmetric tensor in Voigt notation.
+type Voigt = [6]float64
+
+// Tangent is a 6x6 consistent tangent in Voigt notation.
+type Tangent = [6][6]float64
+
+// State carries the history variables of one integration point.
+type State struct {
+	EpsP    Voigt // plastic strain (engineering shear components)
+	Beta    Voigt // back stress (kinematic hardening)
+	Plastic bool  // reached the yield surface in the last update
+}
+
+// Model is a constitutive model: given the committed state and the total
+// strain, it returns the stress, the consistent tangent, and the candidate
+// new state (committed by the caller once the load step converges).
+type Model interface {
+	Update(s State, eps Voigt) (sig Voigt, d Tangent, next State)
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// lame returns the Lamé constants for (E, nu).
+func lame(e, nu float64) (lambda, mu float64) {
+	lambda = e * nu / ((1 + nu) * (1 - 2*nu))
+	mu = e / (2 * (1 + nu))
+	return
+}
+
+// elasticTangent returns the isotropic linear elastic tangent.
+func elasticTangent(lambda, mu float64) Tangent {
+	var d Tangent
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			d[i][j] = lambda
+		}
+		d[i][i] += 2 * mu
+	}
+	for i := 3; i < 6; i++ {
+		d[i][i] = mu // engineering shear: tau = mu * gamma
+	}
+	return d
+}
+
+// trace returns eps_xx + eps_yy + eps_zz.
+func trace(v Voigt) float64 { return v[0] + v[1] + v[2] }
+
+// dev returns the deviatoric part of a stress-like Voigt tensor.
+func dev(v Voigt) Voigt {
+	p := trace(v) / 3
+	return Voigt{v[0] - p, v[1] - p, v[2] - p, v[3], v[4], v[5]}
+}
+
+// normStress returns the tensor norm sqrt(s:s) of a stress-like Voigt
+// tensor (off-diagonals stored once, counted twice).
+func normStress(s Voigt) float64 {
+	return math.Sqrt(s[0]*s[0] + s[1]*s[1] + s[2]*s[2] +
+		2*(s[3]*s[3]+s[4]*s[4]+s[5]*s[5]))
+}
+
+// LinearElastic is isotropic linear elasticity.
+type LinearElastic struct {
+	E, Nu float64
+}
+
+// Name implements Model.
+func (m LinearElastic) Name() string { return "linear-elastic" }
+
+// Update implements Model.
+func (m LinearElastic) Update(s State, eps Voigt) (Voigt, Tangent, State) {
+	lambda, mu := lame(m.E, m.Nu)
+	d := elasticTangent(lambda, mu)
+	var sig Voigt
+	tr := trace(eps)
+	for i := 0; i < 3; i++ {
+		sig[i] = lambda*tr + 2*mu*eps[i]
+	}
+	for i := 3; i < 6; i++ {
+		sig[i] = mu * eps[i]
+	}
+	return sig, d, s
+}
+
+// NeoHookean is a compressible Neo-Hookean model evaluated on the small
+// strain kinematics: deviatoric response 2*mu*dev(eps), volumetric response
+// p = U'(J) = kappa/2 (J^2-1)/J with J = 1 + tr(eps) and kappa the bulk
+// modulus. For tr(eps) -> 0 it linearizes exactly to isotropic elasticity;
+// for finite compression/extension the volumetric stiffness hardens,
+// mimicking the paper's large-deformation hyperelasticity.
+type NeoHookean struct {
+	E, Nu float64
+}
+
+// Name implements Model.
+func (m NeoHookean) Name() string { return "neo-hookean" }
+
+// Update implements Model.
+func (m NeoHookean) Update(s State, eps Voigt) (Voigt, Tangent, State) {
+	lambda, mu := lame(m.E, m.Nu)
+	kappa := lambda + 2*mu/3
+	j := 1 + trace(eps)
+	if j < 0.05 {
+		j = 0.05 // guard against element inversion during bad Newton steps
+	}
+	var sig Voigt
+	de := dev(eps)
+	p := kappa / 2 * (j*j - 1) / j
+	for i := 0; i < 3; i++ {
+		sig[i] = p + 2*mu*de[i]
+	}
+	for i := 3; i < 6; i++ {
+		sig[i] = mu * eps[i]
+	}
+	// dp/dJ = kappa/2 (1 + 1/J^2); volumetric tangent dp/d(tr eps) same.
+	dpdtr := kappa / 2 * (1 + 1/(j*j))
+	var d Tangent
+	for i := 0; i < 3; i++ {
+		for k := 0; k < 3; k++ {
+			d[i][k] = dpdtr - 2.0/3.0*mu
+		}
+		d[i][i] += 2 * mu
+	}
+	for i := 3; i < 6; i++ {
+		d[i][i] = mu
+	}
+	return sig, d, s
+}
+
+// J2Plasticity is small-strain J2 plasticity with linear kinematic
+// hardening, integrated by radial return (Simo & Hughes, Box 3.1 — the
+// paper cites Computational Inelasticity [22]).
+type J2Plasticity struct {
+	E, Nu  float64
+	SigmaY float64 // initial yield stress
+	H      float64 // kinematic hardening modulus
+}
+
+// Name implements Model.
+func (m J2Plasticity) Name() string { return "j2-plasticity" }
+
+// Update implements Model.
+func (m J2Plasticity) Update(s State, eps Voigt) (Voigt, Tangent, State) {
+	lambda, mu := lame(m.E, m.Nu)
+	kappa := lambda + 2*mu/3
+
+	// Elastic trial: strain minus committed plastic strain. Engineering
+	// shears: eps_e[i>=3] is gamma; deviatoric stress s = 2 mu eps_dev
+	// (tensor components), so shear stress = mu * gamma.
+	var epsE Voigt
+	for i := 0; i < 6; i++ {
+		epsE[i] = eps[i] - s.EpsP[i]
+	}
+	tr := trace(epsE)
+	de := dev(epsE)
+	var sTrial Voigt
+	for i := 0; i < 3; i++ {
+		sTrial[i] = 2 * mu * de[i]
+	}
+	for i := 3; i < 6; i++ {
+		sTrial[i] = mu * epsE[i]
+	}
+	var xi Voigt
+	for i := 0; i < 6; i++ {
+		xi[i] = sTrial[i] - s.Beta[i]
+	}
+	xiNorm := normStress(xi)
+	f := xiNorm - math.Sqrt(2.0/3.0)*m.SigmaY
+
+	next := s
+	if f <= 0 || xiNorm == 0 {
+		// Elastic step.
+		next.Plastic = false
+		var sig Voigt
+		p := kappa * tr
+		for i := 0; i < 3; i++ {
+			sig[i] = p + sTrial[i]
+		}
+		for i := 3; i < 6; i++ {
+			sig[i] = sTrial[i]
+		}
+		return sig, elasticTangent(lambda, mu), next
+	}
+
+	// Radial return.
+	dgamma := f / (2*mu + 2.0/3.0*m.H)
+	var n Voigt
+	for i := 0; i < 6; i++ {
+		n[i] = xi[i] / xiNorm
+	}
+	var sig Voigt
+	p := kappa * tr
+	for i := 0; i < 6; i++ {
+		sig[i] = sTrial[i] - 2*mu*dgamma*n[i]
+		if i < 3 {
+			sig[i] += p
+		}
+		next.Beta[i] = s.Beta[i] + 2.0/3.0*m.H*dgamma*n[i]
+	}
+	// Plastic strain update: tensor components; engineering shear strains
+	// accumulate 2 * dgamma * n for the off-diagonals.
+	for i := 0; i < 3; i++ {
+		next.EpsP[i] = s.EpsP[i] + dgamma*n[i]
+	}
+	for i := 3; i < 6; i++ {
+		next.EpsP[i] = s.EpsP[i] + 2*dgamma*n[i]
+	}
+	next.Plastic = true
+
+	// Consistent tangent (Simo & Hughes 3.3.6): C = kappa I⊗I +
+	// 2 mu theta (I_dev) - 2 mu thetaBar n⊗n.
+	theta := 1 - 2*mu*dgamma/xiNorm
+	thetaBar := 1/(1+m.H/(3*mu)) - (1 - theta)
+	var d Tangent
+	// Volumetric + deviatoric identity part.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			d[i][j] = kappa - 2.0/3.0*mu*theta
+		}
+		d[i][i] += 2 * mu * theta
+	}
+	for i := 3; i < 6; i++ {
+		d[i][i] = mu * theta // engineering shear
+	}
+	// -2 mu thetaBar n⊗n; shear columns/rows pick up factors consistent
+	// with engineering shear strain work conjugacy.
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			fac := 2 * mu * thetaBar
+			d[i][j] -= fac * n[i] * n[j]
+		}
+	}
+	return sig, d, next
+}
+
+// Database is the Table 1 material set: index 0 = soft, 1 = hard.
+func Database() []Model {
+	return []Model{
+		NeoHookean{E: 1e-4, Nu: 0.49},
+		J2Plasticity{E: 1, Nu: 0.3, SigmaY: 1e-3, H: 0.002},
+	}
+}
+
+// MatSoft and MatHard are the element material ids of the Table 1 database.
+const (
+	MatSoft = 0
+	MatHard = 1
+)

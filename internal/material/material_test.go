@@ -1,0 +1,243 @@
+package material
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tangentMatchesFD checks the consistent tangent against a central finite
+// difference of the stress at the given strain.
+func tangentMatchesFD(t *testing.T, m Model, s State, eps Voigt, tol float64) {
+	t.Helper()
+	_, d, _ := m.Update(s, eps)
+	h := 1e-7
+	for j := 0; j < 6; j++ {
+		ep, em := eps, eps
+		ep[j] += h
+		em[j] -= h
+		sp, _, _ := m.Update(s, ep)
+		sm, _, _ := m.Update(s, em)
+		for i := 0; i < 6; i++ {
+			fd := (sp[i] - sm[i]) / (2 * h)
+			if math.Abs(fd-d[i][j]) > tol*(1+math.Abs(fd)) {
+				t.Fatalf("%s: tangent[%d][%d] = %v, FD = %v", m.Name(), i, j, d[i][j], fd)
+			}
+		}
+	}
+}
+
+func TestLinearElasticUniaxial(t *testing.T) {
+	m := LinearElastic{E: 200, Nu: 0.3}
+	// Uniaxial stress state: eps_xx = e, eps_yy = eps_zz = -nu e gives
+	// sigma_xx = E e, sigma_yy = sigma_zz = 0.
+	e := 0.001
+	eps := Voigt{e, -0.3 * e, -0.3 * e}
+	sig, _, _ := m.Update(State{}, eps)
+	if math.Abs(sig[0]-200*e) > 1e-12 {
+		t.Fatalf("sigma_xx = %v, want %v", sig[0], 200*e)
+	}
+	if math.Abs(sig[1]) > 1e-12 || math.Abs(sig[2]) > 1e-12 {
+		t.Fatalf("lateral stress nonzero: %v %v", sig[1], sig[2])
+	}
+	// Pure shear: sigma_xy = G * gamma.
+	g := 200.0 / (2 * 1.3)
+	sig, _, _ = m.Update(State{}, Voigt{0, 0, 0, 0.002, 0, 0})
+	if math.Abs(sig[3]-g*0.002) > 1e-12 {
+		t.Fatalf("shear stress = %v, want %v", sig[3], g*0.002)
+	}
+}
+
+func TestLinearElasticTangentFD(t *testing.T) {
+	m := LinearElastic{E: 10, Nu: 0.25}
+	tangentMatchesFD(t, m, State{}, Voigt{0.001, -0.002, 0.0005, 0.001, -0.001, 0.002}, 1e-5)
+}
+
+func TestNeoHookeanLinearizesToElastic(t *testing.T) {
+	nh := NeoHookean{E: 1e-4, Nu: 0.49}
+	le := LinearElastic{E: 1e-4, Nu: 0.49}
+	eps := Voigt{1e-8, -2e-8, 1e-8, 2e-8, 0, -1e-8}
+	s1, d1, _ := nh.Update(State{}, eps)
+	s2, d2, _ := le.Update(State{}, eps)
+	for i := 0; i < 6; i++ {
+		if math.Abs(s1[i]-s2[i]) > 1e-12+1e-4*math.Abs(s2[i]) {
+			t.Fatalf("stress[%d]: %v vs %v", i, s1[i], s2[i])
+		}
+		for j := 0; j < 6; j++ {
+			if math.Abs(d1[i][j]-d2[i][j]) > 1e-7*(1+math.Abs(d2[i][j])) {
+				t.Fatalf("tangent[%d][%d]: %v vs %v", i, j, d1[i][j], d2[i][j])
+			}
+		}
+	}
+}
+
+func TestNeoHookeanVolumetricHardening(t *testing.T) {
+	m := NeoHookean{E: 1, Nu: 0.3}
+	// Compression must stiffen: |p| at tr(eps) = -0.3 exceeds linear
+	// prediction.
+	epsC := Voigt{-0.1, -0.1, -0.1}
+	sig, _, _ := m.Update(State{}, epsC)
+	lambda, mu := lame(1, 0.3)
+	kappa := lambda + 2*mu/3
+	pLinear := kappa * -0.3
+	if sig[0] >= 0 {
+		t.Fatal("compression should give negative stress")
+	}
+	// Neo-Hookean pressure: kappa/2 (J^2-1)/J at J=0.7.
+	pNH := kappa / 2 * (0.7*0.7 - 1) / 0.7
+	if pNH >= pLinear {
+		t.Fatalf("volumetric response should harden in compression: %v vs %v", pNH, pLinear)
+	}
+	if math.Abs(sig[0]-pNH) > 1e-12 {
+		t.Fatalf("pressure = %v, want %v", sig[0], pNH)
+	}
+	tangentMatchesFD(t, m, State{}, epsC, 1e-4)
+	tangentMatchesFD(t, m, State{}, Voigt{0.05, 0.02, -0.01, 0.04, 0.01, 0}, 1e-4)
+}
+
+func TestJ2ElasticBelowYield(t *testing.T) {
+	m := J2Plasticity{E: 1, Nu: 0.3, SigmaY: 1e-3, H: 0.002}
+	eps := Voigt{1e-5, 0, 0, 0, 0, 0} // well below yield
+	sig, d, next := m.Update(State{}, eps)
+	if next.Plastic {
+		t.Fatal("should be elastic")
+	}
+	le := LinearElastic{E: 1, Nu: 0.3}
+	sigE, dE, _ := le.Update(State{}, eps)
+	for i := 0; i < 6; i++ {
+		if math.Abs(sig[i]-sigE[i]) > 1e-15 {
+			t.Fatalf("elastic branch stress mismatch at %d", i)
+		}
+		for j := 0; j < 6; j++ {
+			if math.Abs(d[i][j]-dE[i][j]) > 1e-12 {
+				t.Fatalf("elastic branch tangent mismatch")
+			}
+		}
+	}
+}
+
+func TestJ2YieldAndReturn(t *testing.T) {
+	m := J2Plasticity{E: 1, Nu: 0.3, SigmaY: 1e-3, H: 0.002}
+	// Large shear strain forces yielding.
+	eps := Voigt{0, 0, 0, 0.01, 0, 0}
+	sig, _, next := m.Update(State{}, eps)
+	if !next.Plastic {
+		t.Fatal("should yield")
+	}
+	// Stress must lie on the (translated) yield surface:
+	// |dev(sigma) - beta| = sqrt(2/3) sigma_y.
+	xi := dev(sig)
+	for i := 0; i < 6; i++ {
+		xi[i] -= next.Beta[i]
+	}
+	want := math.Sqrt(2.0/3.0) * m.SigmaY
+	if got := normStress(xi); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("|xi| = %v, want %v", got, want)
+	}
+	// Plastic strain must be deviatoric (incompressible flow).
+	if math.Abs(trace(next.EpsP)) > 1e-15 {
+		t.Fatalf("plastic strain not deviatoric: tr = %v", trace(next.EpsP))
+	}
+}
+
+func TestJ2ConsistencyProperty(t *testing.T) {
+	// Property: for any strain, the returned stress never lies outside the
+	// translated yield surface (by more than roundoff).
+	m := J2Plasticity{E: 2, Nu: 0.25, SigmaY: 0.01, H: 0.05}
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		var eps Voigt
+		for i := range eps {
+			eps[i] = (rng.Float64()*2 - 1) * 0.05
+		}
+		sig, _, next := m.Update(State{}, eps)
+		xi := dev(sig)
+		for i := 0; i < 6; i++ {
+			xi[i] -= next.Beta[i]
+		}
+		return normStress(xi) <= math.Sqrt(2.0/3.0)*m.SigmaY*(1+1e-9)
+	}
+	for i := 0; i < 500; i++ {
+		if !f() {
+			t.Fatal("stress outside yield surface")
+		}
+	}
+}
+
+func TestJ2TangentFD(t *testing.T) {
+	m := J2Plasticity{E: 1, Nu: 0.3, SigmaY: 1e-3, H: 0.002}
+	// Plastic branch tangent: FD of the return-mapped stress.
+	tangentMatchesFD(t, m, State{}, Voigt{0, 0, 0, 0.01, 0, 0}, 1e-3)
+	tangentMatchesFD(t, m, State{}, Voigt{0.004, -0.001, 0, 0.003, 0.002, -0.001}, 1e-3)
+}
+
+func TestJ2KinematicHardeningShakedown(t *testing.T) {
+	// Cyclic shear: with kinematic hardening the backstress translates the
+	// surface; reversing the strain re-yields earlier (Bauschinger).
+	m := J2Plasticity{E: 1, Nu: 0.3, SigmaY: 1e-3, H: 0.01}
+	s := State{}
+	var sig Voigt
+	sig, _, s = m.Update(s, Voigt{0, 0, 0, 0.01, 0, 0})
+	fwd := sig[3]
+	// Unload to zero strain from the committed plastic state.
+	sig, _, s2 := m.Update(s, Voigt{})
+	if s2.Plastic && math.Abs(sig[3]) > math.Abs(fwd) {
+		t.Fatal("unloading should not increase stress")
+	}
+	if normStress(s.Beta) == 0 {
+		t.Fatal("kinematic hardening should move the backstress")
+	}
+}
+
+func TestStateCommitSemantics(t *testing.T) {
+	// Update must not mutate the passed state.
+	m := J2Plasticity{E: 1, Nu: 0.3, SigmaY: 1e-3, H: 0.002}
+	s := State{}
+	m.Update(s, Voigt{0, 0, 0, 0.01, 0, 0})
+	if s.Plastic || normStress(s.EpsP) != 0 {
+		t.Fatal("Update mutated its input state")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := Database()
+	if len(db) != 2 {
+		t.Fatal("want 2 materials")
+	}
+	if db[MatSoft].Name() != "neo-hookean" || db[MatHard].Name() != "j2-plasticity" {
+		t.Fatalf("db = %v %v", db[MatSoft].Name(), db[MatHard].Name())
+	}
+	// Table 1 stiffness jump: hard/soft = 1e4.
+	soft := db[MatSoft].(NeoHookean)
+	hard := db[MatHard].(J2Plasticity)
+	if hard.E/soft.E != 1e4 {
+		t.Fatalf("stiffness jump = %v", hard.E/soft.E)
+	}
+}
+
+func TestElasticTangentSPDQuick(t *testing.T) {
+	// Property: the elastic tangent is positive definite for admissible
+	// (E > 0, 0 < nu < 0.5) parameters: check xᵀDx > 0.
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		e := 0.1 + rng.Float64()*10
+		nu := rng.Float64() * 0.49
+		m := LinearElastic{E: e, Nu: nu}
+		_, d, _ := m.Update(State{}, Voigt{})
+		var x Voigt
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		q := 0.0
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				q += x[i] * d[i][j] * x[j]
+			}
+		}
+		return q > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package mesh
+
+import "prometheus/internal/geom"
+
+// StructuredHex builds an nx×ny×nz element hexahedral mesh of the box
+// [0,lx]×[0,ly]×[0,lz]. matFn assigns a material id given the element
+// centroid; pass nil for a single material 0. Vertex (i,j,k) has id
+// i*(ny+1)*(nz+1) + j*(nz+1) + k.
+func StructuredHex(nx, ny, nz int, lx, ly, lz float64, matFn func(c geom.Vec3) int) *Mesh {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic("mesh: StructuredHex needs at least one element per direction")
+	}
+	nvy := ny + 1
+	nvz := nz + 1
+	vid := func(i, j, k int) int { return (i*nvy+j)*nvz + k }
+	coords := make([]geom.Vec3, (nx+1)*nvy*nvz)
+	for i := 0; i <= nx; i++ {
+		for j := 0; j <= ny; j++ {
+			for k := 0; k <= nz; k++ {
+				coords[vid(i, j, k)] = geom.Vec3{
+					X: lx * float64(i) / float64(nx),
+					Y: ly * float64(j) / float64(ny),
+					Z: lz * float64(k) / float64(nz),
+				}
+			}
+		}
+	}
+	var elems [][]int
+	var mats []int
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				// Hex8 node order: bottom quad CCW (viewed from +z), then top.
+				conn := []int{
+					vid(i, j, k), vid(i+1, j, k), vid(i+1, j+1, k), vid(i, j+1, k),
+					vid(i, j, k+1), vid(i+1, j, k+1), vid(i+1, j+1, k+1), vid(i, j+1, k+1),
+				}
+				elems = append(elems, conn)
+				mat := 0
+				if matFn != nil {
+					c := geom.Vec3{}
+					for _, v := range conn {
+						c = c.Add(coords[v])
+					}
+					mat = matFn(c.Scale(1.0 / 8))
+				}
+				mats = append(mats, mat)
+			}
+		}
+	}
+	return &Mesh{Type: Hex8, Coords: coords, Elems: elems, Mat: mats}
+}
+
+// VertsWhere returns the ids of vertices satisfying pred.
+func (m *Mesh) VertsWhere(pred func(p geom.Vec3) bool) []int {
+	var out []int
+	for v, p := range m.Coords {
+		if pred(p) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// hexEdges lists the 12 edges of a hexahedron as corner pairs, in the
+// Hex20 midside node order (nodes 8..19).
+var hexEdges = [12][2]int{
+	{0, 1}, {1, 2}, {2, 3}, {3, 0}, // bottom: nodes 8-11
+	{4, 5}, {5, 6}, {6, 7}, {7, 4}, // top: nodes 12-15
+	{0, 4}, {1, 5}, {2, 6}, {3, 7}, // vertical: nodes 16-19
+}
+
+// StructuredHex20 builds an nx×ny×nz element 20-node serendipity
+// hexahedral mesh of the box [0,lx]×[0,ly]×[0,lz]. Midside nodes are
+// shared between adjacent elements. matFn assigns material ids by element
+// centroid (nil for all zero).
+func StructuredHex20(nx, ny, nz int, lx, ly, lz float64, matFn func(c geom.Vec3) int) *Mesh {
+	base := StructuredHex(nx, ny, nz, lx, ly, lz, matFn)
+	m := &Mesh{Type: Hex20, Coords: append([]geom.Vec3(nil), base.Coords...), Mat: base.Mat}
+	mid := make(map[[2]int]int) // sorted corner pair -> midside node id
+	midOf := func(a, b int) int {
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if id, ok := mid[key]; ok {
+			return id
+		}
+		id := len(m.Coords)
+		m.Coords = append(m.Coords, m.Coords[a].Add(m.Coords[b]).Scale(0.5))
+		mid[key] = id
+		return id
+	}
+	for _, conn := range base.Elems {
+		full := make([]int, 20)
+		copy(full, conn)
+		for e, pair := range hexEdges {
+			full[8+e] = midOf(conn[pair[0]], conn[pair[1]])
+		}
+		m.Elems = append(m.Elems, full)
+	}
+	return m
+}
+
+// hexToTets is the 6-tetrahedra decomposition of a hexahedron around the
+// 0-6 diagonal; every tetrahedron is positively oriented for a convex hex
+// in the standard node order.
+var hexToTets = [6][4]int{
+	{0, 1, 2, 6}, {0, 2, 3, 6}, {0, 3, 7, 6},
+	{0, 7, 4, 6}, {0, 4, 5, 6}, {0, 5, 1, 6},
+}
+
+// HexToTets converts a Hex8 mesh into a Tet4 mesh by splitting every
+// hexahedron into six tetrahedra around its 0-6 diagonal (materials are
+// inherited). It provides genuinely simplicial fine grids for the solver
+// — the paper's method takes any unstructured mesh as input.
+func HexToTets(m *Mesh) *Mesh {
+	if m.Type != Hex8 {
+		panic("mesh: HexToTets wants a Hex8 mesh")
+	}
+	out := &Mesh{Type: Tet4, Coords: append([]geom.Vec3(nil), m.Coords...)}
+	for e, conn := range m.Elems {
+		for _, t := range hexToTets {
+			tet := []int{conn[t[0]], conn[t[1]], conn[t[2]], conn[t[3]]}
+			// Enforce positive orientation (warped hexes can flip a tet).
+			if geom.TetVolume(out.Coords[tet[0]], out.Coords[tet[1]], out.Coords[tet[2]], out.Coords[tet[3]]) < 0 {
+				tet[0], tet[1] = tet[1], tet[0]
+			}
+			out.Elems = append(out.Elems, tet)
+			out.Mat = append(out.Mat, m.Mat[e])
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+// Package par is the message-passing substrate of the reproduction: the
+// paper runs on MPI over a 960-processor IBM SMP cluster, which we simulate
+// with P goroutine "ranks" communicating over channels. The parallel
+// algorithms of the paper (the rank-based parallel MIS of section 4.2, the
+// seeded parallel face identification of section 4.5, and row-partitioned
+// matrix-vector products with halo exchange) run unchanged on this runtime.
+//
+// Every rank carries flop and traffic counters; the perf package converts
+// the measured counts into the paper's efficiency metrics using a machine
+// model calibrated to the paper's hardware.
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point payload.
+type message struct {
+	tag  int
+	data interface{}
+}
+
+// Comm is a communicator over a fixed number of ranks.
+type Comm struct {
+	size  int
+	chans [][]chan message // chans[from][to]
+
+	barrierMu    sync.Mutex
+	barrierCount int
+	barrierGen   int
+	barrierCond  *sync.Cond
+
+	reduceMu    sync.Mutex
+	reduceBuf   []interface{}
+	reduceGen   int
+	reduceSlots map[int]*reduceSlot
+	reduceCnd   *sync.Cond
+}
+
+// reduceSlot holds one completed reduction until every rank has read it.
+type reduceSlot struct {
+	out     interface{}
+	readers int
+}
+
+// NewComm returns a communicator with p ranks.
+func NewComm(p int) *Comm {
+	if p < 1 {
+		panic("par: communicator needs at least one rank")
+	}
+	c := &Comm{size: p}
+	c.chans = make([][]chan message, p)
+	for i := range c.chans {
+		c.chans[i] = make([]chan message, p)
+		for j := range c.chans[i] {
+			c.chans[i][j] = make(chan message, 1024)
+		}
+	}
+	c.barrierCond = sync.NewCond(&c.barrierMu)
+	c.reduceCnd = sync.NewCond(&c.reduceMu)
+	c.reduceSlots = make(map[int]*reduceSlot)
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Run executes fn concurrently on every rank and waits for all to finish.
+// A panic in any rank is re-raised in the caller.
+func (c *Comm) Run(fn func(r *Rank)) {
+	var wg sync.WaitGroup
+	panics := make([]interface{}, c.size)
+	ranks := make([]*Rank, c.size)
+	for id := 0; id < c.size; id++ {
+		ranks[id] = &Rank{comm: c, id: id, pending: make([][]message, c.size)}
+	}
+	for id := 0; id < c.size; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[id] = e
+				}
+			}()
+			fn(ranks[id])
+		}(id)
+	}
+	wg.Wait()
+	for id, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("par: rank %d panicked: %v", id, p))
+		}
+	}
+}
+
+// Rank is one simulated processor inside a Comm.Run call.
+type Rank struct {
+	comm    *Comm
+	id      int
+	pending [][]message // out-of-order receives, per source
+
+	// Counters accumulated during the run; read them after Run returns.
+	Flops     int64
+	BytesSent int64
+	MsgsSent  int64
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.size }
+
+// CountFlops adds n to the rank's flop counter.
+func (r *Rank) CountFlops(n int64) { r.Flops += n }
+
+// Send delivers data to rank "to" with the given tag. Sends are buffered
+// and non-blocking up to a large channel capacity.
+func (r *Rank) Send(to, tag int, data interface{}, bytes int) {
+	if to == r.id {
+		r.pending[r.id] = append(r.pending[r.id], message{tag: tag, data: data})
+		return
+	}
+	r.MsgsSent++
+	r.BytesSent += int64(bytes)
+	r.comm.chans[r.id][to] <- message{tag: tag, data: data}
+}
+
+// Recv blocks until a message with the given tag arrives from rank "from"
+// and returns its payload. Messages with other tags from the same source
+// are queued.
+func (r *Rank) Recv(from, tag int) interface{} {
+	q := r.pending[from]
+	for i, m := range q {
+		if m.tag == tag {
+			r.pending[from] = append(q[:i], q[i+1:]...)
+			return m.data
+		}
+	}
+	for {
+		m := <-r.comm.chans[from][r.id]
+		if m.tag == tag {
+			return m.data
+		}
+		r.pending[from] = append(r.pending[from], m)
+	}
+}
+
+// Barrier blocks until every rank has reached it.
+func (r *Rank) Barrier() {
+	c := r.comm
+	c.barrierMu.Lock()
+	gen := c.barrierGen
+	c.barrierCount++
+	if c.barrierCount == c.size {
+		c.barrierCount = 0
+		c.barrierGen++
+		c.barrierCond.Broadcast()
+	} else {
+		for gen == c.barrierGen {
+			c.barrierCond.Wait()
+		}
+	}
+	c.barrierMu.Unlock()
+}
+
+// allReduce gathers one contribution per rank, applies combine on rank
+// order, and returns the result to every rank.
+func (r *Rank) allReduce(v interface{}, combine func(acc, v interface{}) interface{}) interface{} {
+	c := r.comm
+	c.reduceMu.Lock()
+	gen := c.reduceGen
+	if c.reduceBuf == nil {
+		c.reduceBuf = make([]interface{}, 0, c.size)
+	}
+	c.reduceBuf = append(c.reduceBuf, v)
+	if len(c.reduceBuf) == c.size {
+		acc := c.reduceBuf[0]
+		for _, x := range c.reduceBuf[1:] {
+			acc = combine(acc, x)
+		}
+		c.reduceSlots[gen] = &reduceSlot{out: acc, readers: c.size}
+		c.reduceBuf = c.reduceBuf[:0]
+		c.reduceGen++
+		c.reduceCnd.Broadcast()
+	} else {
+		for c.reduceSlots[gen] == nil {
+			c.reduceCnd.Wait()
+		}
+	}
+	slot := c.reduceSlots[gen]
+	out := slot.out
+	slot.readers--
+	if slot.readers == 0 {
+		delete(c.reduceSlots, gen)
+	}
+	c.reduceMu.Unlock()
+	return out
+}
+
+// AllReduceSum returns the sum of v over all ranks.
+func (r *Rank) AllReduceSum(v float64) float64 {
+	return r.allReduce(v, func(a, b interface{}) interface{} {
+		return a.(float64) + b.(float64)
+	}).(float64)
+}
+
+// AllReduceIntSum returns the integer sum of v over all ranks.
+func (r *Rank) AllReduceIntSum(v int) int {
+	return r.allReduce(v, func(a, b interface{}) interface{} {
+		return a.(int) + b.(int)
+	}).(int)
+}
+
+// AllReduceMax returns the maximum of v over all ranks.
+func (r *Rank) AllReduceMax(v float64) float64 {
+	return r.allReduce(v, func(a, b interface{}) interface{} {
+		if a.(float64) > b.(float64) {
+			return a
+		}
+		return b
+	}).(float64)
+}
+
+// AllGather collects one value from each rank into a slice indexed by rank.
+// Every rank receives the same slice contents.
+func (r *Rank) AllGather(v interface{}) []interface{} {
+	type tagged struct {
+		id int
+		v  interface{}
+	}
+	res := r.allReduce(tagged{r.id, v}, func(a, b interface{}) interface{} {
+		var list []tagged
+		switch x := a.(type) {
+		case tagged:
+			list = []tagged{x}
+		case []tagged:
+			list = x
+		}
+		switch x := b.(type) {
+		case tagged:
+			list = append(list, x)
+		case []tagged:
+			list = append(list, x...)
+		}
+		return list
+	})
+	out := make([]interface{}, r.comm.size)
+	switch x := res.(type) {
+	case tagged:
+		out[x.id] = x.v
+	case []tagged:
+		for _, t := range x {
+			out[t.id] = t.v
+		}
+	}
+	return out
+}
+
+// Counters holds the per-rank instrumentation gathered by RunCounted.
+type Counters struct {
+	Flops     []int64
+	BytesSent []int64
+	MsgsSent  []int64
+}
+
+// RunCounted is like Run but returns the per-rank counters.
+func (c *Comm) RunCounted(fn func(r *Rank)) Counters {
+	out := Counters{
+		Flops:     make([]int64, c.size),
+		BytesSent: make([]int64, c.size),
+		MsgsSent:  make([]int64, c.size),
+	}
+	var mu sync.Mutex
+	c.Run(func(r *Rank) {
+		fn(r)
+		mu.Lock()
+		out.Flops[r.id] = r.Flops
+		out.BytesSent[r.id] = r.BytesSent
+		out.MsgsSent[r.id] = r.MsgsSent
+		mu.Unlock()
+	})
+	return out
+}

@@ -1,0 +1,211 @@
+package par
+
+import (
+	"prometheus/internal/graph"
+)
+
+// ParallelMIS runs the partition-based parallel maximal independent set
+// algorithm of section 4.2 (and [Adams 1998]). Vertices are assigned to
+// ranks by owner; each rank sweeps its local vertices in the given global
+// traversal order, selecting a vertex v only when every neighbour v1 is
+// deleted, or v outranks v1, or they have equal rank and v's processor
+// number does not exceed v1's (the paper's tie-break), with the immortal
+// (corner) rule layered on top: immortal vertices are always selectable and
+// can never be deleted, and an undone immortal neighbour blocks everyone
+// else. Ghost vertex states are exchanged between rounds; the loop ends
+// when a global reduction finds no undone vertices.
+//
+// The returned slice is the sorted selected set; it satisfies the MIS
+// invariants (independence among mortals, maximality) for any number of
+// ranks and any owner assignment, and matches the heuristic structure of
+// the serial algorithm.
+func ParallelMIS(comm *Comm, g *graph.Graph, owner []int, order []int, rank []int, immortal []bool) []int {
+	if len(owner) != g.N {
+		panic("par: owner must assign every vertex")
+	}
+	if len(order) != g.N {
+		panic("par: order must be a permutation of the vertices")
+	}
+	p := comm.Size()
+
+	rk := func(v int) int {
+		if rank == nil {
+			return 0
+		}
+		return rank[v]
+	}
+	imm := func(v int) bool { return immortal != nil && immortal[v] }
+
+	// Per rank: local vertices in traversal order, and neighbouring ranks.
+	localOrder := make([][]int, p)
+	for _, v := range order {
+		localOrder[owner[v]] = append(localOrder[owner[v]], v)
+	}
+	neighbours := make([]map[int]bool, p)
+	for i := range neighbours {
+		neighbours[i] = make(map[int]bool)
+	}
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			if owner[v] != owner[w] {
+				neighbours[owner[v]][owner[w]] = true
+			}
+		}
+	}
+
+	selected := make([]bool, g.N)
+	merge := make(chan struct{}, 1)
+	merge <- struct{}{}
+
+	type update struct {
+		v int
+		s int8
+	}
+
+	// Owned boundary vertices per rank: those with a cross-rank edge. Their
+	// authoritative state is re-broadcast every round so that third-party
+	// deletions reach every rank that ghosts them.
+	boundary := make([][]int, p)
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			if owner[w] != owner[v] {
+				boundary[owner[v]] = append(boundary[owner[v]], v)
+				break
+			}
+		}
+	}
+
+	comm.Run(func(r *Rank) {
+		me := r.ID()
+		state := make([]int8, g.N) // local view: Undone/Selected/Deleted
+		mine := localOrder[me]
+
+		// exchange runs the two sub-phases: (1) deletions of ghost vertices
+		// are reported to their owners; (2) owners broadcast the states of
+		// their boundary vertices to every neighbouring rank. State views
+		// only advance (states are facts: Undone -> Selected/Deleted).
+		exchange := func(ghostDel map[int][]int) {
+			for nb := range neighbours[me] {
+				r.Send(nb, 1, ghostDel[nb], 8*len(ghostDel[nb])+8)
+			}
+			for nb := range neighbours[me] {
+				for _, v := range r.Recv(nb, 1).([]int) {
+					if state[v] == graph.Undone {
+						state[v] = graph.Deleted
+					}
+				}
+			}
+			out := make([]update, 0, len(boundary[me]))
+			for _, v := range boundary[me] {
+				out = append(out, update{v, state[v]})
+			}
+			for nb := range neighbours[me] {
+				r.Send(nb, 2, out, 9*len(out)+8)
+			}
+			for nb := range neighbours[me] {
+				for _, u := range r.Recv(nb, 2).([]update) {
+					if state[u.v] == graph.Undone {
+						state[u.v] = u.s
+					}
+				}
+			}
+		}
+
+		// canSelect implements the paper's test: all neighbours deleted, or
+		// outranked, or rank tie broken by processor number (local ties are
+		// resolved by the sweep order itself).
+		canSelect := func(v int) bool {
+			if imm(v) {
+				return true
+			}
+			for _, w := range g.Neighbors(v) {
+				if state[w] != graph.Undone {
+					continue
+				}
+				if imm(w) {
+					return false
+				}
+				switch {
+				case rk(v) > rk(w):
+					// outranks w: fine
+				case rk(v) == rk(w) && me <= owner[w]:
+					// tie broken in our favour (same rank: local order)
+				default:
+					return false
+				}
+			}
+			return true
+		}
+
+		for {
+			ghostDel := make(map[int][]int)
+			changed := 0
+			for _, v := range mine {
+				if state[v] != graph.Undone {
+					continue
+				}
+				// A selected neighbour covers v.
+				if !imm(v) {
+					covered := false
+					for _, w := range g.Neighbors(v) {
+						if state[w] == graph.Selected {
+							covered = true
+							break
+						}
+					}
+					if covered {
+						state[v] = graph.Deleted
+						changed++
+						continue
+					}
+				}
+				if !canSelect(v) {
+					continue
+				}
+				state[v] = graph.Selected
+				changed++
+				for _, w := range g.Neighbors(v) {
+					if state[w] == graph.Undone && !imm(w) {
+						state[w] = graph.Deleted
+						changed++
+						if owner[w] != me {
+							ghostDel[owner[w]] = append(ghostDel[owner[w]], w)
+						}
+					}
+				}
+			}
+			exchange(ghostDel)
+			undone := 0
+			for _, v := range mine {
+				if state[v] == graph.Undone {
+					undone++
+				}
+			}
+			if r.AllReduceIntSum(undone) == 0 {
+				break
+			}
+			// The algorithm provably makes global progress each round (the
+			// globally best-ranked undone vertex is always selectable); a
+			// stalled round would be a bug, not a livelock to spin on.
+			if r.AllReduceIntSum(changed) == 0 {
+				panic("par: ParallelMIS stalled")
+			}
+		}
+
+		<-merge
+		for _, v := range mine {
+			if state[v] == graph.Selected {
+				selected[v] = true
+			}
+		}
+		merge <- struct{}{}
+	})
+
+	var mis []int
+	for v, s := range selected {
+		if s {
+			mis = append(mis, v)
+		}
+	}
+	return mis
+}

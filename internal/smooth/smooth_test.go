@@ -1,0 +1,342 @@
+package smooth
+
+import (
+	"math"
+	"testing"
+
+	"prometheus/internal/graph"
+	"prometheus/internal/la"
+	"prometheus/internal/sparse"
+)
+
+// laplace1D returns the n×n tridiagonal [-1, 2, -1] matrix.
+func laplace1D(n int) *sparse.CSR {
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2)
+		if i+1 < n {
+			b.Add(i, i+1, -1)
+			b.Add(i+1, i, -1)
+		}
+	}
+	return b.Build()
+}
+
+// laplace3D returns the 7-point Laplacian on an n³ grid.
+func laplace3D(n int) *sparse.CSR {
+	id := func(i, j, k int) int { return (i*n+j)*n + k }
+	b := sparse.NewBuilder(n*n*n, n*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				me := id(i, j, k)
+				b.Add(me, me, 6)
+				if i > 0 {
+					b.Add(me, id(i-1, j, k), -1)
+				}
+				if i < n-1 {
+					b.Add(me, id(i+1, j, k), -1)
+				}
+				if j > 0 {
+					b.Add(me, id(i, j-1, k), -1)
+				}
+				if j < n-1 {
+					b.Add(me, id(i, j+1, k), -1)
+				}
+				if k > 0 {
+					b.Add(me, id(i, j, k-1), -1)
+				}
+				if k < n-1 {
+					b.Add(me, id(i, j, k+1), -1)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// errorNorm returns ‖b - A·x‖₂.
+func errorNorm(a *sparse.CSR, x, b []float64) float64 {
+	r := make([]float64, len(b))
+	a.Residual(b, x, r)
+	return la.Norm2(r)
+}
+
+// checkReduces verifies that n sweeps reduce the residual monotonically to
+// below frac of the initial.
+func checkReduces(t *testing.T, s Smoother, a *sparse.CSR, sweeps int, frac float64) {
+	t.Helper()
+	n := a.NRows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i + 1))
+	}
+	x := make([]float64, n)
+	r0 := errorNorm(a, x, b)
+	prev := r0
+	for k := 0; k < sweeps; k++ {
+		s.Smooth(x, b, 1)
+		r := errorNorm(a, x, b)
+		if r > prev*(1+1e-12) && r > 1e-12*r0 {
+			t.Fatalf("sweep %d increased residual: %v -> %v", k, prev, r)
+		}
+		prev = r
+	}
+	if prev > frac*r0 {
+		t.Fatalf("residual only reduced to %v of initial after %d sweeps", prev/r0, sweeps)
+	}
+	if s.Flops() <= 0 {
+		t.Fatal("flops not counted")
+	}
+}
+
+func TestJacobiReduces(t *testing.T) {
+	a := laplace1D(50)
+	checkReduces(t, NewJacobi(a, 2.0/3), a, 200, 0.5)
+}
+
+func TestJacobiApply(t *testing.T) {
+	a := laplace1D(10)
+	s := NewJacobi(a, 1)
+	r := make([]float64, 10)
+	z := make([]float64, 10)
+	for i := range r {
+		r[i] = float64(i)
+	}
+	s.Apply(r, z)
+	for i := range z {
+		if math.Abs(z[i]-r[i]/2) > 1e-15 {
+			t.Fatalf("z[%d] = %v", i, z[i])
+		}
+	}
+}
+
+func TestGaussSeidelReduces(t *testing.T) {
+	a := laplace1D(50)
+	checkReduces(t, NewGaussSeidel(a, 1, false), a, 120, 0.2)
+	checkReduces(t, NewGaussSeidel(a, 1, true), a, 60, 0.2)
+	checkReduces(t, NewGaussSeidel(a, 1.5, false), a, 60, 0.2)
+}
+
+func TestChebyshevSmoothsHighFrequency(t *testing.T) {
+	// Chebyshev targets the high end of the spectrum: a high-frequency
+	// error must decay much faster than a smooth one.
+	n := 64
+	a := laplace1D(n)
+	s := NewChebyshev(a, 4, 30)
+	b := make([]float64, n)
+	// Error = x_exact - x; start from x = -e so r = A e.
+	decay := func(mode int) float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = -math.Sin(math.Pi * float64(mode) * float64(i+1) / float64(n+1))
+		}
+		r0 := errorNorm(a, x, b)
+		s.Smooth(x, b, 1)
+		return errorNorm(a, x, b) / r0
+	}
+	hi := decay(n - 2)
+	lo := decay(1)
+	if hi > 0.2 {
+		t.Fatalf("high-frequency decay = %v, want < 0.2", hi)
+	}
+	if hi > lo {
+		t.Fatalf("smoother should damp high frequency faster: hi %v lo %v", hi, lo)
+	}
+}
+
+func TestBlockJacobi(t *testing.T) {
+	a := laplace3D(6)
+	n := a.NRows
+	// Graph partition on the matrix pattern, paper block density.
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			if i < j {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	g := graph.NewGraph(n, edges)
+	nb := DefaultBlockCount(n)
+	part := graph.GreedyPartition(g, nb)
+	s, err := NewBlockJacobi(a, part, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBlocks() < 1 {
+		t.Fatal("no blocks")
+	}
+	if s.SetupFlops <= 0 {
+		t.Fatal("setup flops not counted")
+	}
+	checkReduces(t, s, a, 60, 0.3)
+	// Block Jacobi with one block per dof degenerates to Jacobi.
+	part1 := make([]int, n)
+	for i := range part1 {
+		part1[i] = i
+	}
+	s1, err := NewBlockJacobi(a, part1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJacobi(a, 1)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%7) - 3
+	}
+	z1 := make([]float64, n)
+	z2 := make([]float64, n)
+	s1.Apply(r, z1)
+	j.Apply(r, z2)
+	for i := range z1 {
+		if math.Abs(z1[i]-z2[i]) > 1e-12 {
+			t.Fatalf("pointwise block Jacobi != Jacobi at %d", i)
+		}
+	}
+}
+
+func TestBlockJacobiSingleBlockIsDirect(t *testing.T) {
+	// One block covering everything solves the system exactly in one sweep.
+	a := laplace1D(20)
+	part := make([]int, 20)
+	s, err := NewBlockJacobi(a, part, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = float64(i)
+	}
+	x := make([]float64, 20)
+	s.Smooth(x, b, 1)
+	if r := errorNorm(a, x, b); r > 1e-10 {
+		t.Fatalf("single-block residual = %v", r)
+	}
+}
+
+func TestDefaultBlockCount(t *testing.T) {
+	if DefaultBlockCount(1000) != 6 {
+		t.Fatal("paper rule: 6 blocks per 1000")
+	}
+	if DefaultBlockCount(10) != 1 {
+		t.Fatal("minimum one block")
+	}
+	if DefaultBlockCount(40000) != 240 {
+		t.Fatalf("got %d", DefaultBlockCount(40000))
+	}
+}
+
+func TestSmootherSymmetryForPCG(t *testing.T) {
+	// Apply of Jacobi and BlockJacobi are symmetric operators (M⁻¹ SPD):
+	// check ⟨M⁻¹u, v⟩ = ⟨u, M⁻¹v⟩.
+	a := laplace3D(4)
+	n := a.NRows
+	part := graph.GreedyPartition(func() *graph.Graph {
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			cols, _ := a.Row(i)
+			for _, j := range cols {
+				if i < j {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		return graph.NewGraph(n, edges)
+	}(), 5)
+	bj, err := NewBlockJacobi(a, part, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Smoother{NewJacobi(a, 0.8), bj} {
+		u := make([]float64, n)
+		v := make([]float64, n)
+		for i := range u {
+			u[i] = math.Sin(float64(3 * i))
+			v[i] = math.Cos(float64(2 * i))
+		}
+		mu := make([]float64, n)
+		mv := make([]float64, n)
+		s.Apply(u, mu)
+		s.Apply(v, mv)
+		if d := la.Dot(mu, v) - la.Dot(u, mv); math.Abs(d) > 1e-10 {
+			t.Fatalf("preconditioner not symmetric: %v", d)
+		}
+	}
+}
+
+func TestCGSmootherStrongerThanInner(t *testing.T) {
+	// One CG-wrapped sweep must reduce the residual at least as much as
+	// the optimally damped inner sweep (CG line search is optimal in the
+	// A-norm along the preconditioned direction).
+	a := laplace3D(5)
+	n := a.NRows
+	part := graph.GreedyPartition(matrixGraph(a), 4)
+	inner, err := NewBlockJacobi(a, part, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := NewCGSmoother(a, inner, 1)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.7)
+	}
+	x := make([]float64, n)
+	cg.Smooth(x, b, 5)
+	rCG := errorNorm(a, x, b)
+	r0 := errorNorm(a, make([]float64, n), b)
+	if rCG >= r0 {
+		t.Fatalf("CG smoother did not reduce residual: %v -> %v", r0, rCG)
+	}
+	if cg.Flops() <= 0 {
+		t.Fatal("flops not counted")
+	}
+	// Apply form from zero initial guess.
+	z := make([]float64, n)
+	cg.Apply(b, z)
+	if la.Norm2(z) == 0 {
+		t.Fatal("Apply produced nothing")
+	}
+}
+
+// matrixGraph builds the adjacency graph of a matrix pattern.
+func matrixGraph(a *sparse.CSR) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < a.NRows; i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			if i < j {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return graph.NewGraph(a.NRows, edges)
+}
+
+func TestBlockJacobiAutoDamp(t *testing.T) {
+	a := laplace3D(4)
+	part := graph.GreedyPartition(matrixGraph(a), 3)
+	s, err := NewBlockJacobi(a, part, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Omega != 1 {
+		t.Fatal("default omega should be 1")
+	}
+	s.AutoDamp()
+	if s.Omega <= 0 || s.Omega > 1 {
+		t.Fatalf("omega = %v", s.Omega)
+	}
+	// Damped iteration must contract on an arbitrary error.
+	b := make([]float64, a.NRows)
+	x := make([]float64, a.NRows)
+	for i := range x {
+		x[i] = math.Cos(float64(i))
+	}
+	r0 := errorNorm(a, x, b)
+	s.Smooth(x, b, 10)
+	if errorNorm(a, x, b) >= r0 {
+		t.Fatal("damped block Jacobi did not contract")
+	}
+}

@@ -1,0 +1,317 @@
+// Package sparse implements the compressed sparse row (CSR) matrix algebra
+// that the solver is built on: assembly from triplets, matrix-vector
+// products, transposition, general sparse matrix-matrix products, and the
+// Galerkin triple product R·A·Rᵀ used to build coarse-grid operators.
+// It is the stand-in for the PETSc Mat layer in the paper's Epimetheus.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+type CSR struct {
+	NRows, NCols int
+	RowPtr       []int     // len NRows+1
+	ColIdx       []int     // len nnz, sorted within each row
+	Val          []float64 // len nnz
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.ColIdx) }
+
+// Builder accumulates triplets (duplicates are summed) and converts to CSR.
+type Builder struct {
+	nRows, nCols int
+	rows         []map[int]float64
+}
+
+// NewBuilder returns a builder for an r×c matrix.
+func NewBuilder(r, c int) *Builder {
+	return &Builder{nRows: r, nCols: c, rows: make([]map[int]float64, r)}
+}
+
+// Add accumulates A(i,j) += v.
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.nRows || j < 0 || j >= b.nCols {
+		panic(fmt.Sprintf("sparse: Add index (%d,%d) out of range %dx%d", i, j, b.nRows, b.nCols))
+	}
+	if b.rows[i] == nil {
+		b.rows[i] = make(map[int]float64, 8)
+	}
+	b.rows[i][j] += v
+}
+
+// Set assigns A(i,j) = v, replacing any accumulated value.
+func (b *Builder) Set(i, j int, v float64) {
+	if b.rows[i] == nil {
+		b.rows[i] = make(map[int]float64, 8)
+	}
+	b.rows[i][j] = v
+}
+
+// Build converts the accumulated triplets to CSR with sorted column indices.
+// Exact zeros created by cancellation are retained (the symbolic pattern is
+// what assembly produced), but entries never touched are absent.
+func (b *Builder) Build() *CSR {
+	rowPtr := make([]int, b.nRows+1)
+	nnz := 0
+	for i, r := range b.rows {
+		rowPtr[i] = nnz
+		nnz += len(r)
+	}
+	rowPtr[b.nRows] = nnz
+	colIdx := make([]int, nnz)
+	val := make([]float64, nnz)
+	for i, r := range b.rows {
+		start := rowPtr[i]
+		k := start
+		for j := range r {
+			colIdx[k] = j
+			k++
+		}
+		cols := colIdx[start:k]
+		sort.Ints(cols)
+		for kk, j := range cols {
+			val[start+kk] = r[j]
+		}
+	}
+	return &CSR{NRows: b.nRows, NCols: b.nCols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// At returns A(i,j) (zero when the entry is not stored). O(log row nnz).
+func (a *CSR) At(i, j int) float64 {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	k := lo + sort.SearchInts(a.ColIdx[lo:hi], j)
+	if k < hi && a.ColIdx[k] == j {
+		return a.Val[k]
+	}
+	return 0
+}
+
+// MulVec computes y = A·x.
+func (a *CSR) MulVec(x, y []float64) {
+	if len(x) != a.NCols || len(y) != a.NRows {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := 0; i < a.NRows; i++ {
+		s := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecRange computes y[i] = (A·x)[i] for i in [lo, hi). It is the kernel
+// for row-partitioned parallel products.
+func (a *CSR) MulVecRange(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecFlops returns the flop count of one MulVec (2·nnz, the standard
+// convention used in the paper's Mflop rates).
+func (a *CSR) MulVecFlops() int64 { return 2 * int64(a.NNZ()) }
+
+// Residual computes r = b - A·x.
+func (a *CSR) Residual(b, x, r []float64) {
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+}
+
+// Diag returns the diagonal of A as a slice (zeros where absent).
+func (a *CSR) Diag() []float64 {
+	n := a.NRows
+	if a.NCols < n {
+		n = a.NCols
+	}
+	d := make([]float64, a.NRows)
+	for i := 0; i < n; i++ {
+		d[i] = a.At(i, i)
+	}
+	return d
+}
+
+// Transpose returns Aᵀ.
+func (a *CSR) Transpose() *CSR {
+	nnz := a.NNZ()
+	rowPtr := make([]int, a.NCols+1)
+	for _, j := range a.ColIdx {
+		rowPtr[j+1]++
+	}
+	for j := 0; j < a.NCols; j++ {
+		rowPtr[j+1] += rowPtr[j]
+	}
+	colIdx := make([]int, nnz)
+	val := make([]float64, nnz)
+	next := make([]int, a.NCols)
+	copy(next, rowPtr[:a.NCols])
+	for i := 0; i < a.NRows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			p := next[j]
+			colIdx[p] = i
+			val[p] = a.Val[k]
+			next[j]++
+		}
+	}
+	// Rows of the transpose come out sorted because we scan i ascending.
+	return &CSR{NRows: a.NCols, NCols: a.NRows, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// Mul returns C = A·B using a Gustavson row-merge.
+func (a *CSR) Mul(b *CSR) *CSR {
+	if a.NCols != b.NRows {
+		panic("sparse: Mul dimension mismatch")
+	}
+	rowPtr := make([]int, a.NRows+1)
+	var colIdx []int
+	var val []float64
+	acc := make([]float64, b.NCols)
+	mark := make([]int, b.NCols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	pattern := make([]int, 0, 64)
+	for i := 0; i < a.NRows; i++ {
+		pattern = pattern[:0]
+		for ka := a.RowPtr[i]; ka < a.RowPtr[i+1]; ka++ {
+			j := a.ColIdx[ka]
+			av := a.Val[ka]
+			for kb := b.RowPtr[j]; kb < b.RowPtr[j+1]; kb++ {
+				c := b.ColIdx[kb]
+				if mark[c] != i {
+					mark[c] = i
+					acc[c] = 0
+					pattern = append(pattern, c)
+				}
+				acc[c] += av * b.Val[kb]
+			}
+		}
+		sort.Ints(pattern)
+		for _, c := range pattern {
+			colIdx = append(colIdx, c)
+			val = append(val, acc[c])
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	return &CSR{NRows: a.NRows, NCols: b.NCols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// Galerkin returns the coarse-grid operator R·A·Rᵀ (the paper's
+// Acoarse = R·Afine·Rᵀ). R is nc×nf, A is nf×nf; the result is nc×nc.
+func Galerkin(r, a *CSR) *CSR {
+	ra := r.Mul(a)
+	return ra.Mul(r.Transpose())
+}
+
+// Scale multiplies every stored entry by s.
+func (a *CSR) Scale(s float64) {
+	for i := range a.Val {
+		a.Val[i] *= s
+	}
+}
+
+// Clone returns a deep copy.
+func (a *CSR) Clone() *CSR {
+	c := &CSR{
+		NRows:  a.NRows,
+		NCols:  a.NCols,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: append([]int(nil), a.ColIdx...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	return c
+}
+
+// IsSymmetric reports whether A equals Aᵀ to within tol on every stored
+// entry (relative to the largest entry magnitude).
+func (a *CSR) IsSymmetric(tol float64) bool {
+	if a.NRows != a.NCols {
+		return false
+	}
+	maxAbs := 0.0
+	for _, v := range a.Val {
+		if m := math.Abs(v); m > maxAbs {
+			maxAbs = m
+		}
+	}
+	if maxAbs == 0 {
+		return true
+	}
+	for i := 0; i < a.NRows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if math.Abs(a.Val[k]-a.At(j, i)) > tol*maxAbs {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Submatrix extracts the principal submatrix A(idx, idx). The returned
+// matrix is dense-ordered by the position of each index in idx.
+func (a *CSR) Submatrix(idx []int) *CSR {
+	pos := make(map[int]int, len(idx))
+	for p, i := range idx {
+		pos[i] = p
+	}
+	b := NewBuilder(len(idx), len(idx))
+	for p, i := range idx {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if q, ok := pos[a.ColIdx[k]]; ok {
+				b.Set(p, q, a.Val[k])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *CSR {
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, n)
+	val := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = i + 1
+		colIdx[i] = i
+		val[i] = 1
+	}
+	return &CSR{NRows: n, NCols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (a *CSR) RowNNZ(i int) int { return a.RowPtr[i+1] - a.RowPtr[i] }
+
+// Row returns the column indices and values of row i (shared storage; do
+// not modify).
+func (a *CSR) Row(i int) ([]int, []float64) {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	return a.ColIdx[lo:hi], a.Val[lo:hi]
+}
+
+// InfNorm returns the maximum absolute row sum.
+func (a *CSR) InfNorm() float64 {
+	m := 0.0
+	for i := 0; i < a.NRows; i++ {
+		s := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += math.Abs(a.Val[k])
+		}
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
