@@ -50,11 +50,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
 			os.Exit(1)
 		}
-		if err := meshio.Write(f, m); err != nil {
+		err = meshio.Write(f, m)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
 			os.Exit(1)
 		}
-		f.Close()
 		fmt.Printf("wrote %s (%d vertices, %d elements)\n", *writePath, m.NumVerts(), m.NumElems())
 	}
 
@@ -87,7 +90,9 @@ func main() {
 				rank[v] = float64(r)
 			}
 			err = meshio.WriteVTK(f, g.Mesh, map[string][]float64{"class": rank})
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
 				os.Exit(1)

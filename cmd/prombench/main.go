@@ -141,7 +141,9 @@ func main() {
 			os.Exit(1)
 		}
 		err = experiments.WriteSeriesCSV(f, runs)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "prombench: csv: %v\n", err)
 			os.Exit(1)

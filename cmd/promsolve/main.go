@@ -47,7 +47,9 @@ func main() {
 		f, err := os.Open(*meshFile)
 		fail(err)
 		mm, err := meshio.Read(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		fail(err)
 		m = mm
 		models = []prometheus.Model{prometheus.LinearElastic{E: 1, Nu: 0.3}}

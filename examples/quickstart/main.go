@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 
 	prometheus "prometheus"
 )
@@ -22,7 +23,7 @@ func main() {
 		if p.Z == 0 {
 			cons.FixVert(v, 0, 0, 0)
 		}
-		if p.Z == 1 {
+		if math.Abs(p.Z-1) < 1e-9 {
 			load[3*v+2] = -0.001 // downward surface load
 		}
 	}
@@ -57,7 +58,7 @@ func main() {
 
 	// Report the centre-top deflection.
 	for v, p := range m.Coords {
-		if p.X == 0.5 && p.Y == 0.5 && p.Z == 1 {
+		if math.Abs(p.X-0.5) < 1e-9 && math.Abs(p.Y-0.5) < 1e-9 && math.Abs(p.Z-1) < 1e-9 {
 			fmt.Printf("top-centre deflection: %.3e\n", u[3*v+2])
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"log"
 
 	prometheus "prometheus"
+	"prometheus/internal/geom"
 	"prometheus/internal/graph"
 	"prometheus/internal/mesh"
 	"prometheus/internal/problems"
@@ -70,7 +71,7 @@ func main() {
 		if p.X == 0 {
 			cons.FixVert(v, 0, 0, 0)
 		}
-		if p.X == 14 {
+		if geom.ApproxEq(p.X, 14, 1e-9) {
 			load[3*v+2] = -1e-4
 		}
 	}

@@ -1,0 +1,21 @@
+// Package check is the runtime invariant layer of the solver. Its
+// assertions are compiled in only under the "promdebug" build tag
+// (go build -tags promdebug); the default build gets no-op stubs and a
+// false Enabled constant, so guarded call sites
+//
+//	if check.Enabled {
+//	    check.Assert(cond, "pkg.Func: message %d", n)
+//	}
+//
+// are eliminated as dead code and cost nothing in release builds.
+//
+// The package deliberately imports nothing but the standard library
+// (fmt/sort), so every numeric package — sparse, par, core, multigrid —
+// can call into it without import cycles: invariants over CSR matrices,
+// index sets, and partitions are expressed on raw slices rather than on
+// the packages' own types.
+//
+// Failed assertions panic with a "check: "-prefixed message naming the
+// call site context; they are programming errors, not recoverable
+// conditions.
+package check

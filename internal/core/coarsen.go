@@ -26,6 +26,7 @@ package core
 import (
 	"fmt"
 
+	"prometheus/internal/check"
 	"prometheus/internal/delaunay"
 	"prometheus/internal/geom"
 	"prometheus/internal/graph"
@@ -179,6 +180,12 @@ func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 	}
 	if len(mis) < 5 || len(mis) >= m.NumVerts() {
 		return nil, nil // too small to remesh, or no reduction
+	}
+	if check.Enabled {
+		// The selected set must be a valid independent set of the modified
+		// MIS graph (independence on mg, not on the raw node graph g, whose
+		// exterior-exterior edges section 4.6 deletes).
+		check.IndependentSet(mis, mg.N, mg.Neighbors, cls.Immortal(), "core.coarsenOnce")
 	}
 
 	// Coarse vertex coordinates.

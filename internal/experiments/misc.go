@@ -7,6 +7,7 @@ import (
 	"prometheus/internal/aggregation"
 	"prometheus/internal/core"
 	"prometheus/internal/fem"
+	"prometheus/internal/geom"
 	"prometheus/internal/graph"
 	"prometheus/internal/krylov"
 	"prometheus/internal/material"
@@ -80,7 +81,7 @@ func ThinBody(w io.Writer) error {
 		}
 		f := make([]float64, m.NumDOF())
 		for v, pt := range m.Coords {
-			if pt.X == 12 {
+			if geom.ApproxEq(pt.X, 12, 1e-9) {
 				f[3*v+2] = -0.001
 			}
 		}

@@ -13,6 +13,13 @@ package geom
 
 import "math"
 
+// ApproxEq reports whether a and b agree to within the absolute tolerance
+// tol. It is the project's canonical float comparison: the promlint
+// float-equality rule rejects naked ==/!= between floating-point values,
+// and call sites route through this helper (or compare against the exact
+// literal 0) instead.
+func ApproxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
 // Vec3 is a point or vector in R^3.
 type Vec3 struct {
 	X, Y, Z float64

@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// fakeFmt builds a minimal stand-in for the fmt package so fixtures can
+// exercise the fmt-aware rule logic without depending on export data.
+func fakeFmt() *types.Package {
+	pkg := types.NewPackage("fmt", "fmt")
+	scope := pkg.Scope()
+	anySlice := types.NewSlice(types.Universe.Lookup("any").Type())
+	str := types.Typ[types.String]
+	errType := types.Universe.Lookup("error").Type()
+	intType := types.Typ[types.Int]
+
+	sig := func(params *types.Tuple, results *types.Tuple, variadic bool) *types.Signature {
+		return types.NewSignatureType(nil, nil, nil, params, results, variadic)
+	}
+	param := func(t types.Type) *types.Var { return types.NewParam(token.NoPos, pkg, "", t) }
+
+	scope.Insert(types.NewFunc(token.NoPos, pkg, "Sprintf",
+		sig(types.NewTuple(param(str), param(anySlice)), types.NewTuple(param(str)), true)))
+	scope.Insert(types.NewFunc(token.NoPos, pkg, "Errorf",
+		sig(types.NewTuple(param(str), param(anySlice)), types.NewTuple(param(errType)), true)))
+	scope.Insert(types.NewFunc(token.NoPos, pkg, "Println",
+		sig(types.NewTuple(param(anySlice)), types.NewTuple(param(intType), param(errType)), true)))
+	scope.Insert(types.NewFunc(token.NoPos, pkg, "Printf",
+		sig(types.NewTuple(param(str), param(anySlice)), types.NewTuple(param(intType), param(errType)), true)))
+	pkg.MarkComplete()
+	return pkg
+}
+
+// fixtureImporter serves the fake fmt and rejects everything else.
+type fixtureImporter struct{ fmtPkg *types.Package }
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "fmt" {
+		return fi.fmtPkg, nil
+	}
+	return importer.Default().Import(path)
+}
+
+// checkFixture parses and type-checks one fixture source string.
+func checkFixture(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: fixtureImporter{fakeFmt()}}
+	tpkg, err := conf.Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	return &Package{Path: "fixture", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// lines extracts the line numbers of the issues, in order.
+func lines(issues []Issue) []int {
+	out := make([]int, len(issues))
+	for i, iss := range issues {
+		out[i] = iss.Pos.Line
+	}
+	return out
+}
+
+func sameLines(got []Issue, want ...int) bool {
+	g := lines(got)
+	if len(g) != len(want) {
+		return false
+	}
+	for i := range g {
+		if g[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFloatEquality(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+func cmp(a, b float64, i, j int, s, u string) bool {
+	if a == b { // line 4: flagged
+		return true
+	}
+	if a != b { // line 7: flagged
+		return true
+	}
+	if a == 0 { // zero sentinel: allowed
+		return true
+	}
+	if 0.0 != b { // zero on the left: allowed
+		return true
+	}
+	if a != a { // NaN idiom: allowed
+		return true
+	}
+	if a == 0.5 { // line 19: nonzero constant: flagged
+		return true
+	}
+	if i == j { // ints: not this rule's business
+		return true
+	}
+	return s == u // strings: fine
+}
+`)
+	got := Run([]*Package{pkg}, []Rule{FloatEquality{}})
+	if !sameLines(got, 4, 7, 19) {
+		t.Fatalf("float-equality fired on lines %v, want [4 7 19]\n%v", lines(got), got)
+	}
+	for _, iss := range got {
+		if iss.Rule != "float-equality" || iss.Severity != Error {
+			t.Fatalf("bad issue metadata: %+v", iss)
+		}
+	}
+}
+
+func TestLibraryPanic(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+import "fmt"
+
+func validate(n int, err error) {
+	if n < 0 {
+		panic("fixture: negative size") // convention: allowed
+	}
+	panic(fmt.Sprintf("fixture: bad n %d", n)) // Sprintf with prefix: allowed
+	panic("fixture: " + fmt.Sprintf("%d", n))  // concat with prefix: allowed
+	panic("wrong prefix")                      // line 11: flagged
+	panic(err)                                 // line 12: flagged
+	panic(fmt.Sprintf("no prefix %d", n))      // line 13: flagged
+}
+`)
+	got := Run([]*Package{pkg}, []Rule{LibraryPanic{}})
+	if !sameLines(got, 11, 12, 13) {
+		t.Fatalf("library-panic fired on lines %v, want [11 12 13]\n%v", lines(got), got)
+	}
+}
+
+func TestLibraryPanicSkipsMain(t *testing.T) {
+	pkg := checkFixture(t, `package main
+
+func main() {
+	panic("anything goes in a command")
+}
+`)
+	if got := Run([]*Package{pkg}, []Rule{LibraryPanic{}}); len(got) != 0 {
+		t.Fatalf("library-panic must skip package main, got %v", got)
+	}
+}
+
+func TestUncheckedError(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+import (
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return nil }
+func pair() (int, error) { return 0, nil }
+func pure() int { return 0 }
+
+func caller() {
+	mayFail()        // line 13: flagged
+	pair()           // line 14: flagged (tuple containing error)
+	pure()           // no error result: fine
+	_ = mayFail()    // explicit discard: fine
+	if err := mayFail(); err != nil {
+		panic(err)
+	}
+	fmt.Println("x") // fmt print family: excluded
+	var sb strings.Builder
+	sb.WriteString("y") // in-memory writer: excluded
+	_ = sb.String()
+}
+`)
+	got := Run([]*Package{pkg}, []Rule{UncheckedError{}})
+	if !sameLines(got, 13, 14) {
+		t.Fatalf("unchecked-error fired on lines %v, want [13 14]\n%v", lines(got), got)
+	}
+}
+
+func TestNakedTypeAssert(t *testing.T) {
+	src := `package fixture
+
+func handle(v interface{}) int {
+	n := v.(int) // line 4: flagged
+	if m, ok := v.(int); ok { // comma-ok: fine
+		n += m
+	}
+	switch x := v.(type) { // type switch: fine
+	case int:
+		n += x
+	}
+	return n
+}
+`
+	pkg := checkFixture(t, src)
+	rule := NakedTypeAssert{HotPaths: []string{"fixture"}}
+	got := Run([]*Package{pkg}, []Rule{rule})
+	if !sameLines(got, 4) {
+		t.Fatalf("naked-type-assert fired on lines %v, want [4]\n%v", lines(got), got)
+	}
+
+	// A package outside the hot-path list is exempt.
+	cold := NakedTypeAssert{HotPaths: []string{"somewhere/else"}}
+	if got := Run([]*Package{pkg}, []Rule{cold}); len(got) != 0 {
+		t.Fatalf("rule must not fire outside its hot paths, got %v", got)
+	}
+}
+
+func TestExportedDoc(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+// Documented is fine.
+type Documented struct{}
+
+type Bare struct{}
+
+// Good has a doc comment.
+func Good() {}
+
+func Missing() {}
+
+func unexported() {}
+
+// Grouped constants satisfy the rule with one block comment.
+const (
+	A = iota
+	B
+)
+
+var Loose int
+
+// Trailing has a trailing doc, which the rule accepts.
+type Trailing struct{} // accepted via spec comment
+
+// DoDoc is documented; its method below is not.
+type DoDoc struct{}
+
+func (DoDoc) Method() {}
+
+type hidden struct{}
+
+func (hidden) Exported() {}
+`)
+	// Bare (6), Missing (11), Loose (21), Method (29); the method on the
+	// unexported type and everything documented stay quiet.
+	got := Run([]*Package{pkg}, []Rule{ExportedDoc{}})
+	if !sameLines(got, 6, 11, 21, 29) {
+		t.Fatalf("exported-doc fired on lines %v, want [6 11 21 29]\n%v", lines(got), got)
+	}
+	for _, iss := range got {
+		if iss.Severity != Warning {
+			t.Fatalf("exported-doc must be a warning: %+v", iss)
+		}
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+func cmp(a, b float64) bool {
+	//promlint:ignore float-equality exact bit test is intentional here
+	if a == b {
+		return true
+	}
+	x := a != b //promlint:ignore float-equality same-line directive
+	//promlint:ignore float-equality
+	y := a == b // directive above lacks a reason: still flagged (line 10)
+	return x || y
+}
+`)
+	got := Run([]*Package{pkg}, []Rule{FloatEquality{}})
+	if !sameLines(got, 10) {
+		t.Fatalf("suppression failed: issues on lines %v, want [10]\n%v", lines(got), got)
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	iss := Issue{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Rule:     "float-equality",
+		Severity: Error,
+		Msg:      "bad",
+	}
+	want := "x.go:3:7: error: [float-equality] bad"
+	if iss.String() != want {
+		t.Fatalf("Issue.String() = %q, want %q", iss.String(), want)
+	}
+}
+
+func TestRunSortsIssues(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+func f(v interface{}, a, b float64) {
+	_ = a == b
+	_ = v.(int)
+}
+`)
+	rules := []Rule{NakedTypeAssert{}, FloatEquality{}}
+	got := Run([]*Package{pkg}, rules)
+	if len(got) != 2 || got[0].Pos.Line > got[1].Pos.Line {
+		t.Fatalf("issues not sorted by position: %v", got)
+	}
+}
+
+func TestDefaultRulesComplete(t *testing.T) {
+	want := map[string]bool{
+		"float-equality":    true,
+		"library-panic":     true,
+		"unchecked-error":   true,
+		"naked-type-assert": true,
+		"exported-doc":      true,
+	}
+	names := make([]string, 0, len(want))
+	for _, r := range DefaultRules() {
+		if !want[r.Name()] {
+			t.Fatalf("unexpected rule %q", r.Name())
+		}
+		names = append(names, r.Name())
+	}
+	if len(names) != len(want) {
+		t.Fatalf("DefaultRules has %d rules (%s), want %d", len(names), strings.Join(names, ", "), len(want))
+	}
+}
+
+// TestLoadSelf smoke-tests the go list loader against this package itself.
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load(".", []string{"."}, "")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "prometheus/internal/lint" {
+		t.Fatalf("Load returned %v", pkgs)
+	}
+	if pkgs[0].IsMain() {
+		t.Fatal("internal/lint must not be a main package")
+	}
+	// The package must lint itself clean with the default rules.
+	if issues := Run(pkgs, DefaultRules()); len(issues) != 0 {
+		msgs := make([]string, len(issues))
+		for i, iss := range issues {
+			msgs[i] = iss.String()
+		}
+		t.Fatalf("internal/lint is not lint-clean:\n%s", strings.Join(msgs, "\n"))
+	}
+}
+
+// TestFixtureHelperRejectsBadSource keeps the harness honest.
+func TestFixtureHelperRejectsBadSource(t *testing.T) {
+	defer func() { _ = recover() }()
+	bad := "package fixture\nfunc ("
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "bad.go", bad, 0); err == nil {
+		t.Fatal("expected parse error")
+	}
+	_ = fmt.Sprintf // keep fmt linked for the fake importer
+}

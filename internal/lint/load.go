@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the given package patterns with the go tool and returns
+// the matched packages parsed (with comments) and fully type-checked.
+// Dependencies — standard library and module-internal alike — are
+// imported from the compiler export data that `go list -export` produces,
+// so the loader needs nothing beyond the standard library and the go
+// command itself. tags is an optional build-tag list forwarded to go list.
+func Load(dir string, patterns []string, tags string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, tags, false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, tags, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	meta := make(map[string]*listPkg, len(deps))
+	for _, p := range deps {
+		meta[p.ImportPath] = p
+	}
+
+	fset := token.NewFileSet()
+	exportImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		m := meta[path]
+		if m == nil || m.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(m.Export)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg, err := typeCheck(fset, t, exportImp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs the go list command and decodes its JSON package stream.
+func goList(dir, tags string, deps bool, patterns []string) ([]*listPkg, error) {
+	args := []string{"list", "-json"}
+	if deps {
+		args = append(args, "-deps", "-export")
+	}
+	if tags != "" {
+		args = append(args, "-tags", tags)
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list failed: %v\n%s", err, stderr.String())
+	}
+	var out []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// typeCheck parses and type-checks one target package from source.
+func typeCheck(fset *token.FileSet, m *listPkg, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(m.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", m.ImportPath, err)
+	}
+	return &Package{
+		Path:  m.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NakedTypeAssert flags single-value interface type assertions (x.(T))
+// in the configured hot-path packages. A failed naked assertion panics
+// with an anonymous runtime error deep inside a goroutine rank; the
+// two-value comma-ok form (or a typed helper such as par.RecvAs) turns
+// the same failure into a diagnosable protocol error. Type switches are
+// fine — they never panic.
+type NakedTypeAssert struct {
+	// HotPaths lists package import paths (exact, or as a prefix of
+	// sub-packages) the rule applies to. Empty means every package.
+	HotPaths []string
+}
+
+// Name implements Rule.
+func (NakedTypeAssert) Name() string { return "naked-type-assert" }
+
+// Check implements Rule.
+func (r NakedTypeAssert) Check(pkg *Package) []Issue {
+	if !r.applies(pkg.Path) {
+		return nil
+	}
+	var out []Issue
+	for _, f := range pkg.Files {
+		okForm := commaOkAsserts(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			ta, ok := n.(*ast.TypeAssertExpr)
+			if !ok {
+				return true
+			}
+			if ta.Type == nil { // x.(type) inside a type switch
+				return true
+			}
+			if okForm[ta] {
+				return true
+			}
+			out = append(out, issue(pkg, ta, r.Name(), Error,
+				"single-value type assertion on a hot path; use the two-value form v, ok := x.(T) (or a typed helper like par.RecvAs)"))
+			return true
+		})
+	}
+	return out
+}
+
+// applies reports whether the rule covers the package path.
+func (r NakedTypeAssert) applies(path string) bool {
+	if len(r.HotPaths) == 0 {
+		return true
+	}
+	for _, p := range r.HotPaths {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// commaOkAsserts collects the type assertions appearing as the single
+// right-hand side of a two-value assignment or declaration — the
+// comma-ok form.
+func commaOkAsserts(f *ast.File) map[*ast.TypeAssertExpr]bool {
+	out := make(map[*ast.TypeAssertExpr]bool)
+	mark := func(rhs []ast.Expr, nLHS int) {
+		if nLHS == 2 && len(rhs) == 1 {
+			if ta, ok := ast.Unparen(rhs[0]).(*ast.TypeAssertExpr); ok {
+				out[ta] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			mark(x.Rhs, len(x.Lhs))
+		case *ast.ValueSpec:
+			mark(x.Values, len(x.Names))
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ExportedDoc requires doc comments on the exported API of library
+// packages: functions, methods on exported types, and type/var/const
+// declarations. A grouped declaration is satisfied by a single comment on
+// the group (the idiom for enum blocks); individual specs may also carry
+// their own doc or trailing line comment.
+type ExportedDoc struct{}
+
+// Name implements Rule.
+func (ExportedDoc) Name() string { return "exported-doc" }
+
+// Check implements Rule.
+func (r ExportedDoc) Check(pkg *Package) []Issue {
+	if pkg.IsMain() {
+		return nil
+	}
+	var out []Issue
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Doc != nil || !d.Name.IsExported() || !exportedReceiver(d) {
+					continue
+				}
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				out = append(out, issue(pkg, d, r.Name(), Warning,
+					"exported %s %s has no doc comment", kind, d.Name.Name))
+			case *ast.GenDecl:
+				if d.Tok == token.IMPORT || d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					out = append(out, r.checkSpec(pkg, spec)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkSpec reports undocumented exported names in one spec of an
+// undocumented declaration group.
+func (r ExportedDoc) checkSpec(pkg *Package, spec ast.Spec) []Issue {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+			return []Issue{issue(pkg, s, r.Name(), Warning,
+				"exported type %s has no doc comment", s.Name.Name)}
+		}
+	case *ast.ValueSpec:
+		if s.Doc != nil || s.Comment != nil {
+			return nil
+		}
+		for _, name := range s.Names {
+			if name.IsExported() {
+				return []Issue{issue(pkg, s, r.Name(), Warning,
+					"exported name %s has no doc comment", name.Name)}
+			}
+		}
+	}
+	return nil
+}
+
+// exportedReceiver reports whether the method's receiver base type is
+// exported (methods on unexported types are internal API). Plain
+// functions trivially pass.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedError flags call statements that silently discard an error
+// result. Discarding must be explicit (`_ = f()`) or the error handled.
+// The fmt.Print/Fprint family and the never-failing in-memory writers
+// (*strings.Builder, *bytes.Buffer) are excluded, matching their
+// universal usage convention.
+type UncheckedError struct{}
+
+// Name implements Rule.
+func (UncheckedError) Name() string { return "unchecked-error" }
+
+// Check implements Rule.
+func (r UncheckedError) Check(pkg *Package) []Issue {
+	var out []Issue
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pkg, call) || isExcludedCall(pkg, call) {
+				return true
+			}
+			out = append(out, issue(pkg, stmt, r.Name(), Error,
+				"call discards an error result; handle it or assign to _ explicitly"))
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.IsType() { // conversions are not calls
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return t != nil && types.Identical(t, errType)
+	}
+}
+
+// isExcludedCall applies the conventional exclusions.
+func isExcludedCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type().String()
+	return recv == "*strings.Builder" || recv == "*bytes.Buffer"
+}
+
+// calleeFunc resolves the called function object when statically known.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

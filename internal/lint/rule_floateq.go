@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEquality flags naked ==/!= comparisons between floating-point
+// operands. Exact equality on floats is almost always a rounding bug in a
+// solver; comparisons must either go through a tolerance (math.Abs(a-b)
+// <= tol) or compare against the literal constant 0, which is the one
+// well-defined sentinel this codebase uses deliberately (absent CSR
+// entries, unset options, exact zero vectors). The NaN idiom x != x is
+// also permitted.
+type FloatEquality struct{}
+
+// Name implements Rule.
+func (FloatEquality) Name() string { return "float-equality" }
+
+// Check implements Rule.
+func (r FloatEquality) Check(pkg *Package) []Issue {
+	var out []Issue
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pkg, be.X) && !isFloat(pkg, be.Y) {
+				return true
+			}
+			// Comparing to the exact constant zero is the sanctioned
+			// sentinel check; two constants fold at compile time.
+			xc, yc := constValue(pkg, be.X), constValue(pkg, be.Y)
+			if xc != nil && yc != nil {
+				return true
+			}
+			if isZeroConst(xc) || isZeroConst(yc) {
+				return true
+			}
+			// x != x is the portable NaN test.
+			if be.Op == token.NEQ && exprString(pkg, be.X) == exprString(pkg, be.Y) {
+				return true
+			}
+			out = append(out, issue(pkg, be, r.Name(), Error,
+				"floating-point %s comparison; use a tolerance (math.Abs(a-b) <= tol) or compare against literal 0", be.Op))
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether the expression has floating-point type.
+func isFloat(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// constValue returns the expression's compile-time value, or nil.
+func constValue(pkg *Package, e ast.Expr) constant.Value {
+	return pkg.Info.Types[e].Value
+}
+
+// isZeroConst reports whether v is a numeric constant equal to zero.
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}
+
+// exprString renders an expression for structural comparison.
+func exprString(pkg *Package, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, pkg.Fset, e); err != nil {
+		return ""
+	}
+	return sb.String()
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"prometheus/internal/check"
 	"prometheus/internal/direct"
 	"prometheus/internal/graph"
 	"prometheus/internal/la"
@@ -202,6 +203,17 @@ func New(fineA *sparse.CSR, restrictions []*sparse.CSR, opts Options) (*MG, erro
 		lvl := &Level{A: ac, R: r, P: r.Transpose()}
 		mg.Levels = append(mg.Levels, lvl)
 		a = ac
+	}
+	if check.Enabled {
+		// The hierarchy the cycles recurse over must strictly shrink, and
+		// every Galerkin operator must stay symmetric for the SPD smoothers
+		// and the coarsest Cholesky factorization.
+		dims := make([]int, len(mg.Levels))
+		for i, lvl := range mg.Levels {
+			dims[i] = lvl.A.NRows
+			check.Assert(lvl.A.IsSymmetric(1e-8), "multigrid.New: level %d operator not symmetric", i)
+		}
+		check.StrictlyDecreasing(dims, "multigrid.New level dims")
 	}
 	// Smoothers on all but the coarsest; direct solve on the coarsest.
 	for li, lvl := range mg.Levels {

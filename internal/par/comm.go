@@ -128,6 +128,19 @@ func (r *Rank) Send(to, tag int, data interface{}, bytes int) {
 	r.comm.chans[r.id][to] <- message{tag: tag, data: data}
 }
 
+// RecvAs receives a message from rank "from" with the given tag and
+// asserts its payload type, panicking with a diagnostic (rather than a
+// bare type-assertion failure) on a protocol mismatch. It is the typed
+// receive used on the hot communication paths.
+func RecvAs[T any](r *Rank, from, tag int) T {
+	raw := r.Recv(from, tag)
+	v, ok := raw.(T)
+	if !ok {
+		panic(fmt.Sprintf("par: Recv(from=%d, tag=%d) on rank %d: payload is %T, want %T", from, tag, r.id, raw, v))
+	}
+	return v
+}
+
 // Recv blocks until a message with the given tag arrives from rank "from"
 // and returns its payload. Messages with other tags from the same source
 // are queued.
@@ -200,28 +213,45 @@ func (r *Rank) allReduce(v interface{}, combine func(acc, v interface{}) interfa
 	return out
 }
 
+// AllReduce gathers one value of type T per rank, combines them in rank
+// order, and returns the result to every rank. It is a package function
+// rather than a method because Go methods cannot have type parameters;
+// the typed combine keeps the collective hot paths free of naked
+// interface assertions.
+func AllReduce[T any](r *Rank, v T, combine func(a, b T) T) T {
+	raw := r.allReduce(v, func(a, b interface{}) interface{} {
+		av, aok := a.(T)
+		bv, bok := b.(T)
+		if !aok || !bok {
+			panic(fmt.Sprintf("par: AllReduce on rank %d: mixed payload types %T and %T", r.id, a, b))
+		}
+		return combine(av, bv)
+	})
+	out, ok := raw.(T)
+	if !ok {
+		panic(fmt.Sprintf("par: AllReduce on rank %d: combined payload is %T, want %T", r.id, raw, out))
+	}
+	return out
+}
+
 // AllReduceSum returns the sum of v over all ranks.
 func (r *Rank) AllReduceSum(v float64) float64 {
-	return r.allReduce(v, func(a, b interface{}) interface{} {
-		return a.(float64) + b.(float64)
-	}).(float64)
+	return AllReduce(r, v, func(a, b float64) float64 { return a + b })
 }
 
 // AllReduceIntSum returns the integer sum of v over all ranks.
 func (r *Rank) AllReduceIntSum(v int) int {
-	return r.allReduce(v, func(a, b interface{}) interface{} {
-		return a.(int) + b.(int)
-	}).(int)
+	return AllReduce(r, v, func(a, b int) int { return a + b })
 }
 
 // AllReduceMax returns the maximum of v over all ranks.
 func (r *Rank) AllReduceMax(v float64) float64 {
-	return r.allReduce(v, func(a, b interface{}) interface{} {
-		if a.(float64) > b.(float64) {
+	return AllReduce(r, v, func(a, b float64) float64 {
+		if a > b {
 			return a
 		}
 		return b
-	}).(float64)
+	})
 }
 
 // AllGather collects one value from each rank into a slice indexed by rank.
@@ -231,30 +261,16 @@ func (r *Rank) AllGather(v interface{}) []interface{} {
 		id int
 		v  interface{}
 	}
-	res := r.allReduce(tagged{r.id, v}, func(a, b interface{}) interface{} {
-		var list []tagged
-		switch x := a.(type) {
-		case tagged:
-			list = []tagged{x}
-		case []tagged:
-			list = x
-		}
-		switch x := b.(type) {
-		case tagged:
-			list = append(list, x)
-		case []tagged:
-			list = append(list, x...)
-		}
-		return list
+	res := AllReduce(r, []tagged{{r.id, v}}, func(a, b []tagged) []tagged {
+		// Copy before appending: contributions are shared across ranks, so
+		// the combine must never mutate its operands' backing arrays.
+		merged := make([]tagged, 0, len(a)+len(b))
+		merged = append(merged, a...)
+		return append(merged, b...)
 	})
 	out := make([]interface{}, r.comm.size)
-	switch x := res.(type) {
-	case tagged:
-		out[x.id] = x.v
-	case []tagged:
-		for _, t := range x {
-			out[t.id] = t.v
-		}
+	for _, t := range res {
+		out[t.id] = t.v
 	}
 	return out
 }

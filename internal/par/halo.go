@@ -3,6 +3,7 @@ package par
 import (
 	"sort"
 
+	"prometheus/internal/check"
 	"prometheus/internal/sparse"
 )
 
@@ -68,6 +69,21 @@ func NewHalo(a *sparse.CSR, owner []int, nranks int) *Halo {
 			h.send[o][r] = list
 		}
 	}
+	if check.Enabled {
+		check.Partition(owner, nranks, "par.NewHalo")
+		for r := 0; r < nranks; r++ {
+			check.SortedUnique(h.Rows[r], a.NRows, "par.NewHalo rows")
+			for nb, list := range h.recv[r] {
+				check.Assert(nb != r, "par.NewHalo: rank %d receives ghosts from itself", r)
+				check.SortedUnique(list, a.NRows, "par.NewHalo recv list")
+				for _, j := range list {
+					check.Assert(owner[j] == nb, "par.NewHalo: rank %d expects index %d from rank %d, but it is owned by %d", r, j, nb, owner[j])
+				}
+				// The mirrored send list must be the identical index set.
+				check.Assert(len(h.send[nb][r]) == len(list), "par.NewHalo: send/recv mismatch between ranks %d and %d", nb, r)
+			}
+		}
+	}
 	return h
 }
 
@@ -95,7 +111,10 @@ func (h *Halo) Exchange(r *Rank, x []float64) {
 		r.Send(nb, 2, vals, 8*len(vals))
 	}
 	for nb, idx := range h.recv[me] {
-		vals := r.Recv(nb, 2).([]float64)
+		vals := RecvAs[[]float64](r, nb, 2)
+		if check.Enabled {
+			check.Assert(len(vals) == len(idx), "par.Halo.Exchange: rank %d received %d ghost values from %d, want %d", me, len(vals), nb, len(idx))
+		}
 		for k, j := range idx {
 			x[j] = vals[k]
 		}

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"prometheus/internal/check"
 	"prometheus/internal/graph"
 )
 
@@ -89,7 +90,7 @@ func ParallelMIS(comm *Comm, g *graph.Graph, owner []int, order []int, rank []in
 				r.Send(nb, 1, ghostDel[nb], 8*len(ghostDel[nb])+8)
 			}
 			for nb := range neighbours[me] {
-				for _, v := range r.Recv(nb, 1).([]int) {
+				for _, v := range RecvAs[[]int](r, nb, 1) {
 					if state[v] == graph.Undone {
 						state[v] = graph.Deleted
 					}
@@ -103,7 +104,7 @@ func ParallelMIS(comm *Comm, g *graph.Graph, owner []int, order []int, rank []in
 				r.Send(nb, 2, out, 9*len(out)+8)
 			}
 			for nb := range neighbours[me] {
-				for _, u := range r.Recv(nb, 2).([]update) {
+				for _, u := range RecvAs[[]update](r, nb, 2) {
 					if state[u.v] == graph.Undone {
 						state[u.v] = u.s
 					}
@@ -206,6 +207,10 @@ func ParallelMIS(comm *Comm, g *graph.Graph, owner []int, order []int, rank []in
 		if s {
 			mis = append(mis, v)
 		}
+	}
+	if check.Enabled {
+		check.SortedUnique(mis, g.N, "par.ParallelMIS mis")
+		check.IndependentSet(mis, g.N, g.Neighbors, immortal, "par.ParallelMIS")
 	}
 	return mis
 }

@@ -214,7 +214,7 @@ func NewCube(n int, model material.Model, load float64) *Cube {
 		if p.Z == 0 {
 			cons.FixVert(v, 0, 0, 0)
 		}
-		if p.Z == 1 {
+		if geom.ApproxEq(p.Z, 1, 1e-9) {
 			f[3*v+2] = load
 		}
 	}
@@ -243,7 +243,7 @@ func NewCantilever(nx, ny, nz int, length float64, model material.Model, tipLoad
 		if p.X == 0 {
 			cons.FixVert(v, 0, 0, 0)
 		}
-		if p.X == length {
+		if geom.ApproxEq(p.X, length, 1e-9) {
 			f[3*v+2] = tipLoad
 		}
 	}

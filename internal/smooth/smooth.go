@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"prometheus/internal/geom"
 	"prometheus/internal/graph"
 	"prometheus/internal/la"
 	"prometheus/internal/sparse"
@@ -390,7 +391,7 @@ func (s *BlockJacobi) applyBlocks(r, z []float64) {
 // Apply implements Smoother.
 func (s *BlockJacobi) Apply(r, z []float64) {
 	s.applyBlocks(r, z)
-	if s.Omega != 1 {
+	if !geom.ApproxEq(s.Omega, 1, 1e-15) {
 		la.Scal(s.Omega, z)
 	}
 }

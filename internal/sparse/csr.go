@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"prometheus/internal/check"
 )
 
 // CSR is a sparse matrix in compressed sparse row format.
@@ -78,7 +80,11 @@ func (b *Builder) Build() *CSR {
 			val[start+kk] = r[j]
 		}
 	}
-	return &CSR{NRows: b.nRows, NCols: b.nCols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	out := &CSR{NRows: b.nRows, NCols: b.nCols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	if check.Enabled {
+		check.CSRWellFormed(out.NRows, out.NCols, out.RowPtr, out.ColIdx, len(out.Val), "sparse.Builder.Build")
+	}
+	return out
 }
 
 // At returns A(i,j) (zero when the entry is not stored). O(log row nnz).
@@ -166,7 +172,11 @@ func (a *CSR) Transpose() *CSR {
 		}
 	}
 	// Rows of the transpose come out sorted because we scan i ascending.
-	return &CSR{NRows: a.NCols, NCols: a.NRows, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	out := &CSR{NRows: a.NCols, NCols: a.NRows, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	if check.Enabled {
+		check.CSRWellFormed(out.NRows, out.NCols, out.RowPtr, out.ColIdx, len(out.Val), "sparse.Transpose")
+	}
+	return out
 }
 
 // Mul returns C = A·B using a Gustavson row-merge.
@@ -205,14 +215,25 @@ func (a *CSR) Mul(b *CSR) *CSR {
 		}
 		rowPtr[i+1] = len(colIdx)
 	}
-	return &CSR{NRows: a.NRows, NCols: b.NCols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	out := &CSR{NRows: a.NRows, NCols: b.NCols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	if check.Enabled {
+		check.CSRWellFormed(out.NRows, out.NCols, out.RowPtr, out.ColIdx, len(out.Val), "sparse.Mul")
+	}
+	return out
 }
 
 // Galerkin returns the coarse-grid operator R·A·Rᵀ (the paper's
 // Acoarse = R·Afine·Rᵀ). R is nc×nf, A is nf×nf; the result is nc×nc.
 func Galerkin(r, a *CSR) *CSR {
 	ra := r.Mul(a)
-	return ra.Mul(r.Transpose())
+	out := ra.Mul(r.Transpose())
+	if check.Enabled {
+		// The triple product must preserve symmetry of the fine operator.
+		if a.IsSymmetric(1e-10) {
+			check.Assert(out.IsSymmetric(1e-8), "sparse.Galerkin: coarse operator lost symmetry")
+		}
+	}
+	return out
 }
 
 // Scale multiplies every stored entry by s.

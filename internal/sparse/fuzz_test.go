@@ -1,0 +1,137 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeTriplets turns fuzz bytes into a deterministic triplet stream for
+// an r×c builder: each 6-byte chunk is (i, j, raw value). Dimensions are
+// derived from the first two bytes so the fuzzer also explores shapes.
+func decodeTriplets(data []byte) (r, c int, trip [][3]float64) {
+	if len(data) < 2 {
+		return 1, 1, nil
+	}
+	r = int(data[0])%16 + 1
+	c = int(data[1])%16 + 1
+	data = data[2:]
+	for len(data) >= 6 {
+		i := int(data[0]) % r
+		j := int(data[1]) % c
+		raw := binary.LittleEndian.Uint32(data[2:6])
+		// Map to a modest range including negatives and exact zeros.
+		v := float64(int32(raw)) / (1 << 16)
+		trip = append(trip, [3]float64{float64(i), float64(j), v})
+		data = data[6:]
+	}
+	return r, c, trip
+}
+
+// FuzzBuilderToCSR checks the structural invariants of Builder.Build on
+// arbitrary triplet streams: row-pointer monotonicity, strictly
+// increasing in-range column indices, and agreement of every stored entry
+// with a map-based accumulation of the same triplets.
+func FuzzBuilderToCSR(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 4, 0, 0, 1, 0, 0, 0})
+	f.Add([]byte{8, 8, 1, 2, 255, 255, 255, 255, 1, 2, 1, 0, 0, 0, 7, 7, 0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, c, trip := decodeTriplets(data)
+		b := NewBuilder(r, c)
+		ref := make(map[[2]int]float64)
+		for _, tr := range trip {
+			i, j, v := int(tr[0]), int(tr[1]), tr[2]
+			b.Add(i, j, v)
+			ref[[2]int{i, j}] += v
+		}
+		a := b.Build()
+
+		if a.NRows != r || a.NCols != c {
+			t.Fatalf("dims %dx%d, want %dx%d", a.NRows, a.NCols, r, c)
+		}
+		if len(a.RowPtr) != r+1 || a.RowPtr[0] != 0 || a.RowPtr[r] != len(a.ColIdx) {
+			t.Fatalf("bad RowPtr frame: %v (nnz %d)", a.RowPtr, len(a.ColIdx))
+		}
+		if len(a.Val) != len(a.ColIdx) {
+			t.Fatalf("val/colidx length mismatch: %d vs %d", len(a.Val), len(a.ColIdx))
+		}
+		for i := 0; i < r; i++ {
+			if a.RowPtr[i] > a.RowPtr[i+1] {
+				t.Fatalf("RowPtr not monotone at row %d: %v", i, a.RowPtr)
+			}
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				j := a.ColIdx[k]
+				if j < 0 || j >= c {
+					t.Fatalf("row %d: column %d out of range [0,%d)", i, j, c)
+				}
+				if k > a.RowPtr[i] && a.ColIdx[k-1] >= j {
+					t.Fatalf("row %d: columns not strictly increasing: %v", i, a.ColIdx[a.RowPtr[i]:a.RowPtr[i+1]])
+				}
+				if got, want := a.Val[k], ref[[2]int{i, j}]; got != want {
+					t.Fatalf("entry (%d,%d) = %g, want %g", i, j, got, want)
+				}
+			}
+		}
+		// Every accumulated triplet must be stored (pattern completeness).
+		if nnz := len(ref); a.NNZ() != nnz {
+			t.Fatalf("nnz = %d, want %d", a.NNZ(), nnz)
+		}
+	})
+}
+
+// FuzzSpMV checks MulVec (and MulVecRange over a split) against a dense
+// reference product built from the same triplets.
+func FuzzSpMV(f *testing.F) {
+	f.Add([]byte{4, 4, 0, 0, 16, 0, 0, 0, 1, 2, 3, 4})
+	f.Add([]byte{2, 7, 1, 6, 200, 1, 0, 0, 0, 3, 9, 0, 0, 128, 50, 60})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, c, trip := decodeTriplets(data)
+		b := NewBuilder(r, c)
+		dense := make([]float64, r*c)
+		for _, tr := range trip {
+			i, j, v := int(tr[0]), int(tr[1]), tr[2]
+			b.Add(i, j, v)
+			dense[i*c+j] += v
+		}
+		a := b.Build()
+
+		// x derived deterministically from the tail of the data.
+		x := make([]float64, c)
+		for j := range x {
+			if len(data) > 0 {
+				x[j] = float64(int(data[j%len(data)])-128) / 32
+			} else {
+				x[j] = 1
+			}
+		}
+
+		want := make([]float64, r)
+		for i := 0; i < r; i++ {
+			s := 0.0
+			for j := 0; j < c; j++ {
+				s += dense[i*c+j] * x[j]
+			}
+			want[i] = s
+		}
+
+		got := make([]float64, r)
+		a.MulVec(x, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("MulVec y[%d] = %g, want %g", i, got[i], want[i])
+			}
+		}
+
+		// The row-partitioned kernel over a two-way split must agree.
+		ranged := make([]float64, r)
+		mid := r / 2
+		a.MulVecRange(x, ranged, 0, mid)
+		a.MulVecRange(x, ranged, mid, r)
+		for i := range want {
+			if ranged[i] != got[i] {
+				t.Fatalf("MulVecRange y[%d] = %g, MulVec gave %g", i, ranged[i], got[i])
+			}
+		}
+	})
+}
