@@ -25,6 +25,7 @@ import (
 	"prometheus/internal/par"
 	"prometheus/internal/perf"
 	"prometheus/internal/problems"
+	"prometheus/internal/smooth"
 	"prometheus/internal/sparse"
 	"prometheus/internal/topo"
 )
@@ -330,12 +331,49 @@ func BenchmarkSpMV(b *testing.B) {
 	for i := range x {
 		x[i] = float64(i%7) - 3
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k.MulVec(x, y)
 	}
 	b.SetBytes(int64(12 * k.NNZ())) // 8B value + 4B index per entry
 	b.ReportMetric(float64(k.MulVecFlops())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mflop/s")
+}
+
+// BenchmarkSmoother measures one relaxation sweep of each smoother on
+// the assembled fine operator. Allocation counts are reported so the
+// zero-alloc steady-state guarantee is visible in -benchmem output.
+func BenchmarkSmoother(b *testing.B) {
+	s := problems.NewSpheresConfig(problems.SpheresConfig{
+		Layers: 5, ElemsPerLayer: 1, CoreElems: 2, OuterElems: 2,
+	})
+	p := fem.NewProblem(s.Mesh, s.Models, true)
+	k, _, err := p.AssembleTangent(make([]float64, s.Mesh.NumDOF()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := k.NRows
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i%5) - 2
+	}
+	for _, tc := range []struct {
+		name string
+		s    smooth.Smoother
+	}{
+		{"Jacobi", smooth.NewJacobi(k, 2.0/3)},
+		{"GaussSeidel", smooth.NewGaussSeidel(k, 1, true)},
+		{"Chebyshev", smooth.NewChebyshev(k, 3, 30)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			x := make([]float64, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tc.s.Smooth(x, rhs, 1)
+			}
+		})
+	}
 }
 
 // BenchmarkGalerkin measures the coarse operator triple product R·A·Rᵀ.

@@ -114,12 +114,16 @@ func main() {
 }
 
 // writeOBJ dumps the boundary facets of a mesh as a Wavefront OBJ surface.
-func writeOBJ(path string, m *mesh.Mesh) error {
+func writeOBJ(path string, m *mesh.Mesh) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	w := bufio.NewWriter(f)
 	for _, p := range m.Coords {
 		fmt.Fprintf(w, "v %g %g %g\n", p.X, p.Y, p.Z)

@@ -306,7 +306,7 @@ func (p *Problem) AssembleTangent(u []float64) (*sparse.CSR, []float64, error) {
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
-				go func(w int) {
+				go func(w, e0, e1 int) {
 					defer wg.Done()
 					for e := e0 + w; e < e1; e += workers {
 						fl, err := p.integrateElement(e, u, scratch[w], kes[e-e0], fes[e-e0])
@@ -316,7 +316,7 @@ func (p *Problem) AssembleTangent(u []float64) (*sparse.CSR, []float64, error) {
 						}
 						flopsPerWorker[w] += fl
 					}
-				}(w)
+				}(w, e0, e1)
 			}
 			wg.Wait()
 			for _, err := range errPerWorker {

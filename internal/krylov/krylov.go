@@ -210,6 +210,7 @@ func GMRES(a *sparse.CSR, b, x []float64, m Preconditioner, restart int, rtol fl
 	cs := make([]float64, restart)
 	sn := make([]float64, restart)
 	g := make([]float64, restart+1)
+	yb := make([]float64, restart) // triangular-solve buffer, reused per cycle
 
 	total := 0
 	for total < maxIter {
@@ -276,7 +277,7 @@ func GMRES(a *sparse.CSR, b, x []float64, m Preconditioner, restart int, rtol fl
 			}
 		}
 		// Solve the triangular system and update x.
-		y := make([]float64, k)
+		y := yb[:k]
 		for i := k - 1; i >= 0; i-- {
 			s := g[i]
 			for j := i + 1; j < k; j++ {

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBCEOutput(t *testing.T) {
+	out := `# prometheus/internal/sparse
+internal/sparse/csr.go:10:5: Found IsInBounds
+internal/sparse/csr.go:11:5: Found IsInBounds
+internal/sparse/csr.go:12:5: Found IsSliceInBounds
+# prometheus/internal/par
+internal/par/halo.go:7:3: Found IsInBounds
+some unrelated compiler chatter
+`
+	got := ParseBCEOutput(out)
+	want := BCECounts{
+		"internal/sparse/csr.go": {"IsInBounds": 2, "IsSliceInBounds": 1},
+		"internal/par/halo.go":   {"IsInBounds": 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseBCEOutput = %v, want %v", got, want)
+	}
+}
+
+func TestBCEBaselineRoundTrip(t *testing.T) {
+	counts := BCECounts{
+		"b.go": {"IsInBounds": 3},
+		"a.go": {"IsSliceInBounds": 1, "IsInBounds": 7},
+	}
+	text := FormatBCEBaseline(counts)
+	if !strings.HasPrefix(text, "#") {
+		t.Fatalf("baseline must carry a header comment:\n%s", text)
+	}
+	// Deterministic ordering: a.go lines before b.go.
+	if strings.Index(text, "a.go") > strings.Index(text, "b.go") {
+		t.Fatalf("baseline not sorted:\n%s", text)
+	}
+	back, err := ParseBCEBaseline(text)
+	if err != nil {
+		t.Fatalf("ParseBCEBaseline: %v", err)
+	}
+	if !reflect.DeepEqual(back, counts) {
+		t.Fatalf("round trip = %v, want %v", back, counts)
+	}
+}
+
+func TestParseBCEBaselineRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"a.go IsInBounds", "a.go IsInBounds many"} {
+		if _, err := ParseBCEBaseline(bad); err == nil {
+			t.Fatalf("ParseBCEBaseline(%q) must fail", bad)
+		}
+	}
+}
+
+func TestDiffBCEBaseline(t *testing.T) {
+	base := BCECounts{
+		"a.go": {"IsInBounds": 2},
+		"b.go": {"IsInBounds": 1, "IsSliceInBounds": 2},
+	}
+	cur := BCECounts{
+		"a.go": {"IsInBounds": 3},      // regression
+		"b.go": {"IsSliceInBounds": 2}, // IsInBounds improved to 0
+		"c.go": {"IsInBounds": 1},      // new file: regression
+	}
+	regressions, improvements := DiffBCEBaseline(base, cur)
+	if len(regressions) != 2 ||
+		!strings.Contains(regressions[0], "a.go") || !strings.Contains(regressions[0], "2 -> 3") ||
+		!strings.Contains(regressions[1], "c.go") || !strings.Contains(regressions[1], "0 -> 1") {
+		t.Fatalf("regressions = %v", regressions)
+	}
+	if len(improvements) != 1 || !strings.Contains(improvements[0], "b.go") {
+		t.Fatalf("improvements = %v", improvements)
+	}
+	if r, i := diffEmpty(base); r != 0 || i != 0 {
+		t.Fatalf("identical counts must diff clean, got %d regressions %d improvements", r, i)
+	}
+}
+
+func diffEmpty(c BCECounts) (int, int) {
+	r, i := DiffBCEBaseline(c, c)
+	return len(r), len(i)
+}
+
+// TestBCEReportSelf runs the real compiler pass on the kernel packages
+// and checks the committed baseline is in sync (no regressions AND no
+// stale improvements — the baseline must be exact).
+func TestBCEReportSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiler invocation skipped in -short mode")
+	}
+	current, err := BCEReport("../..", nil, "")
+	if err != nil {
+		t.Fatalf("BCEReport: %v", err)
+	}
+	if len(current) == 0 {
+		t.Fatal("BCEReport found no bounds checks at all; parsing is likely broken")
+	}
+	data, err := os.ReadFile("testdata/bce_baseline.txt")
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	baseline, err := ParseBCEBaseline(string(data))
+	if err != nil {
+		t.Fatalf("ParseBCEBaseline: %v", err)
+	}
+	regressions, improvements := DiffBCEBaseline(baseline, current)
+	if len(regressions) > 0 {
+		t.Errorf("bounds-check regressions vs committed baseline:\n%s", strings.Join(regressions, "\n"))
+	}
+	if len(improvements) > 0 {
+		t.Errorf("baseline is stale (improvements not locked in; run promlint -bce-update):\n%s", strings.Join(improvements, "\n"))
+	}
+}

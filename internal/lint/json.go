@@ -1,0 +1,44 @@
+package lint
+
+// JSONIssue is the machine-readable form of one finding.
+type JSONIssue struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// JSONReport is the promlint -json document: the kept findings plus the
+// suppression accounting, so automation sees both the debt reported and
+// the debt silenced by promlint:ignore directives.
+type JSONReport struct {
+	Findings []JSONIssue `json:"findings"`
+	// Suppressed is the total number of findings silenced by ignore
+	// directives; SuppressedByRule breaks it down per rule.
+	Suppressed       int            `json:"suppressed"`
+	SuppressedByRule map[string]int `json:"suppressed_by_rule,omitempty"`
+}
+
+// NewJSONReport converts RunAll's results into the -json document.
+func NewJSONReport(kept, suppressed []Issue) JSONReport {
+	rep := JSONReport{Findings: make([]JSONIssue, 0, len(kept)), Suppressed: len(suppressed)}
+	for _, iss := range kept {
+		rep.Findings = append(rep.Findings, JSONIssue{
+			File:     iss.Pos.Filename,
+			Line:     iss.Pos.Line,
+			Column:   iss.Pos.Column,
+			Rule:     iss.Rule,
+			Severity: iss.Severity.String(),
+			Message:  iss.Msg,
+		})
+	}
+	if len(suppressed) > 0 {
+		rep.SuppressedByRule = make(map[string]int)
+		for _, iss := range suppressed {
+			rep.SuppressedByRule[iss.Rule]++
+		}
+	}
+	return rep
+}

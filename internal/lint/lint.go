@@ -11,7 +11,12 @@
 //   - unchecked-error: error results must not be silently discarded;
 //   - naked-type-assert: interface type assertions on the par hot paths
 //     must use the two-value comma-ok form;
-//   - exported-doc: exported solver API needs doc comments.
+//   - exported-doc: exported solver API needs doc comments;
+//   - hotloop-alloc: no per-iteration heap allocation in the kernel
+//     packages' hot regions (see dataflow.go for the region analysis);
+//   - comm-protocol: par message tags must be constants, and go
+//     statements must not capture loop variables;
+//   - check-guard: invariant computation must sit under if check.Enabled.
 //
 // A finding can be suppressed in place with a directive comment on the
 // same line or the line above:
@@ -91,24 +96,42 @@ func DefaultRules() []Rule {
 		UncheckedError{},
 		NakedTypeAssert{HotPaths: []string{"prometheus/internal/par"}},
 		ExportedDoc{},
+		HotLoopAlloc{},
+		CommProtocol{},
+		CheckGuard{},
 	}
 }
 
 // Run applies every rule to every package, filters suppressed findings,
 // and returns the remainder sorted by position.
 func Run(pkgs []*Package, rules []Rule) []Issue {
-	var out []Issue
+	kept, _ := RunAll(pkgs, rules)
+	return kept
+}
+
+// RunAll is Run with suppression accounting: it returns both the kept
+// findings and the findings silenced by promlint:ignore directives (also
+// sorted), so callers can report how much debt the suppressions hide.
+func RunAll(pkgs []*Package, rules []Rule) (kept, suppressed []Issue) {
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
 		for _, r := range rules {
 			for _, iss := range r.Check(pkg) {
 				if sup.matches(iss) {
+					suppressed = append(suppressed, iss)
 					continue
 				}
-				out = append(out, iss)
+				kept = append(kept, iss)
 			}
 		}
 	}
+	sortIssues(kept)
+	sortIssues(suppressed)
+	return kept, suppressed
+}
+
+// sortIssues orders findings by position, then rule name.
+func sortIssues(out []Issue) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -122,7 +145,6 @@ func Run(pkgs []*Package, rules []Rule) []Issue {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
 }
 
 // suppressions maps file -> line -> rule names ignored there.

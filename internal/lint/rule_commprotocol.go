@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CommProtocol enforces the message-passing discipline of the par
+// runtime:
+//
+//   - every tag argument of a par call (Send/Recv/RecvAs and friends)
+//     must be a compile-time constant — tags are the protocol, and a
+//     computed tag makes send/recv matching unauditable;
+//   - a `go` statement must not capture a loop variable in its function
+//     literal — rank bodies and per-neighbour workers must take the
+//     variable as an argument so each goroutine owns its value.
+type CommProtocol struct {
+	// ParPath is the import path of the message-passing package
+	// (default prometheus/internal/par).
+	ParPath string
+}
+
+// Name implements Rule.
+func (CommProtocol) Name() string { return "comm-protocol" }
+
+// Check implements Rule.
+func (r CommProtocol) Check(pkg *Package) []Issue {
+	parPath := r.ParPath
+	if parPath == "" {
+		parPath = "prometheus/internal/par"
+	}
+	var out []Issue
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				// Inside the par package itself tags are forwarded as
+				// data (RecvAs hands its tag to Recv); the constant-tag
+				// discipline binds the API's users.
+				if pkg.Path != parPath {
+					out = append(out, r.checkTags(pkg, parPath, x)...)
+				}
+			case *ast.ForStmt, *ast.RangeStmt:
+				out = append(out, r.checkLoopCapture(pkg, n.(ast.Stmt))...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkTags flags non-constant tag arguments in calls into the par
+// package. Detection is by parameter name: any parameter literally
+// named "tag" of a par function or method is a protocol tag.
+func (r CommProtocol) checkTags(pkg *Package, parPath string, call *ast.CallExpr) []Issue {
+	fn := resolvedCallee(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != parPath {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	var out []Issue
+	for i := 0; i < params.Len() && i < len(call.Args); i++ {
+		if params.At(i).Name() != "tag" {
+			continue
+		}
+		if pkg.Info.Types[call.Args[i]].Value != nil {
+			continue // constant-folded: named const or literal
+		}
+		out = append(out, issue(pkg, call.Args[i], r.Name(), Error,
+			"%s called with a non-constant tag; message tags must be named constants so the protocol is auditable", fn.Name()))
+	}
+	return out
+}
+
+// checkLoopCapture flags go statements inside the loop whose function
+// literal captures one of the loop's iteration variables.
+func (r CommProtocol) checkLoopCapture(pkg *Package, loop ast.Stmt) []Issue {
+	vars := make(map[types.Object]string)
+	record := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				vars[obj] = id.Name
+			}
+		}
+	}
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		record(l.Key)
+		record(l.Value)
+		body = l.Body
+	case *ast.ForStmt:
+		if init, ok := l.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+			for _, lhs := range init.Lhs {
+				record(lhs)
+			}
+		}
+		body = l.Body
+	}
+	if len(vars) == 0 || body == nil {
+		return nil
+	}
+	var out []Issue
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		seen := make(map[types.Object]bool) // one finding per variable per goroutine
+		ast.Inspect(lit.Body, func(c ast.Node) bool {
+			id, ok := c.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if name, captured := vars[obj]; captured && !seen[obj] {
+				seen[obj] = true
+				out = append(out, issue(pkg, id, r.Name(), Error,
+					"go statement captures loop variable %s; pass it as an argument to the goroutine", name))
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// resolvedCallee resolves the statically-known called function,
+// including generic instantiations like RecvAs[T](...).
+func resolvedCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr:
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			fn, _ := pkg.Info.Uses[x].(*types.Func)
+			return fn
+		case *ast.SelectorExpr:
+			fn, _ := pkg.Info.Uses[x.Sel].(*types.Func)
+			return fn
+		}
+	case *ast.IndexListExpr:
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			fn, _ := pkg.Info.Uses[x].(*types.Func)
+			return fn
+		case *ast.SelectorExpr:
+			fn, _ := pkg.Info.Uses[x.Sel].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}

@@ -6,8 +6,11 @@ import (
 	"strings"
 )
 
-// UncheckedError flags call statements that silently discard an error
-// result. Discarding must be explicit (`_ = f()`) or the error handled.
+// UncheckedError flags statements that silently discard an error
+// result: bare call statements, `defer f.Close()`-style deferred calls
+// (the error vanishes when the function returns), and `go f()`
+// statements (the error vanishes with the goroutine). Discarding must
+// be explicit (`_ = f()`, or a wrapper closure that handles the error).
 // The fmt.Print/Fprint family and the never-failing in-memory writers
 // (*strings.Builder, *bytes.Buffer) are excluded, matching their
 // universal usage convention.
@@ -21,19 +24,26 @@ func (r UncheckedError) Check(pkg *Package) []Issue {
 	var out []Issue
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
+			var call *ast.CallExpr
+			var what string
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(stmt.X).(*ast.CallExpr)
+				what = "call"
+			case *ast.DeferStmt:
+				call = stmt.Call
+				what = "deferred call"
+			case *ast.GoStmt:
+				call = stmt.Call
+				what = "go statement"
+			default:
 				return true
 			}
-			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
-			if !ok {
+			if call == nil || !returnsError(pkg, call) || isExcludedCall(pkg, call) {
 				return true
 			}
-			if !returnsError(pkg, call) || isExcludedCall(pkg, call) {
-				return true
-			}
-			out = append(out, issue(pkg, stmt, r.Name(), Error,
-				"call discards an error result; handle it or assign to _ explicitly"))
+			out = append(out, issue(pkg, n, r.Name(), Error,
+				"%s discards an error result; handle it or assign to _ explicitly", what))
 			return true
 		})
 	}

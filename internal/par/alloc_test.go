@@ -1,0 +1,101 @@
+package par
+
+import (
+	"runtime"
+	"testing"
+
+	"prometheus/internal/sparse"
+)
+
+// TestSteadyStateAllocs measures the allocation rate of the full
+// per-iteration communication pattern — halo exchange, distributed dot,
+// and the typed reductions — after warmup. The halo credit buffers and
+// reducer slots are preallocated, so steady-state rounds should be
+// essentially allocation-free; the budget below only tolerates runtime
+// incidentals (sudog pool refills and similar), not per-round buffers.
+func TestSteadyStateAllocs(t *testing.T) {
+	const (
+		n      = 96
+		p      = 4
+		warmup = 5
+		rounds = 200
+		budget = 100 // total extra mallocs tolerated across all rounds
+	)
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4)
+		if i+1 < n {
+			b.Add(i, i+1, -1)
+			b.Add(i+1, i, -1)
+		}
+		b.Add(i, (i+29)%n, 0.5)
+	}
+	a := b.Build()
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = i * p / n
+	}
+	h := NewHalo(a, owner, p)
+	comm := NewComm(p)
+
+	var before, after runtime.MemStats
+	comm.Run(func(r *Rank) {
+		x := make([]float64, n)
+		for i := range x {
+			if owner[i] == r.ID() {
+				x[i] = float64(i%7) - 3
+			}
+		}
+		round := func(k int) {
+			h.Exchange(r, x)
+			_ = h.Dot(r, x, x)
+			_ = r.AllReduceSum(float64(r.ID()))
+			_ = r.AllReduceMax(float64(k))
+			_ = r.AllReduceIntSum(k)
+		}
+		for k := 0; k < warmup; k++ {
+			round(k)
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			runtime.ReadMemStats(&before)
+		}
+		r.Barrier()
+		for k := 0; k < rounds; k++ {
+			round(k)
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			runtime.ReadMemStats(&after)
+		}
+		r.Barrier()
+	})
+	if got := after.Mallocs - before.Mallocs; got > budget {
+		t.Errorf("steady-state communication allocated %d objects over %d rounds (budget %d): buffers are not being reused",
+			got, rounds, budget)
+	}
+}
+
+// TestTypedReduceManyRounds stresses the two-slot reducer ring: many
+// back-to-back generations with no interleaved barrier, checking every
+// rank reads its own generation's slot, never a recycled one.
+func TestTypedReduceManyRounds(t *testing.T) {
+	const p = 6
+	comm := NewComm(p)
+	comm.Run(func(r *Rank) {
+		for k := 0; k < 500; k++ {
+			if got, want := r.AllReduceIntSum(r.ID()+k), p*k+p*(p-1)/2; got != want {
+				t.Errorf("round %d: int sum = %d, want %d", k, got, want)
+				return
+			}
+			if got, want := r.AllReduceMax(float64(r.ID()*k)), float64((p-1)*k); got != want {
+				t.Errorf("round %d: max = %v, want %v", k, got, want)
+				return
+			}
+			if got, want := r.AllReduceSum(1), float64(p); got != want {
+				t.Errorf("round %d: sum = %v, want %v", k, got, want)
+				return
+			}
+		}
+	})
+}

@@ -36,6 +36,75 @@ type Comm struct {
 	reduceGen   int
 	reduceSlots map[int]*reduceSlot
 	reduceCnd   *sync.Cond
+
+	// Typed reducers back the per-iteration collectives
+	// (AllReduceSum/AllReduceIntSum/AllReduceMax) without boxing or
+	// per-round allocation; the interface-based allReduce remains for
+	// the generic setup-path collectives (AllReduce/AllGather).
+	redSum    *reducer[float64]
+	redMax    *reducer[float64]
+	redIntSum *reducer[int]
+}
+
+// reducer is an allocation-free all-reduce over one value type and one
+// fixed combine function. Results are published through a two-slot
+// generation-parity ring: slot g&1 holds generation g's result, and it
+// cannot be overwritten before generation g+2 completes, which requires
+// every rank to have contributed to g+1, which requires every rank to
+// have read g first — so a reader always finds its generation intact.
+type reducer[T any] struct {
+	mu      sync.Mutex
+	cnd     *sync.Cond
+	combine func(a, b T) T
+	size    int
+	count   int
+	gen     int
+	acc     T
+	slots   [2]T
+}
+
+// newReducer builds a reducer for size ranks.
+func newReducer[T any](size int, combine func(a, b T) T) *reducer[T] {
+	rd := &reducer[T]{combine: combine, size: size}
+	rd.cnd = sync.NewCond(&rd.mu)
+	return rd
+}
+
+// all contributes v and returns the combined value once every rank has
+// contributed. Contributions are combined in arrival order (matching
+// the interface-based allReduce, whose rank order is also arrival
+// order under the scheduler).
+func (rd *reducer[T]) all(v T) T {
+	rd.mu.Lock()
+	gen := rd.gen
+	if rd.count == 0 {
+		rd.acc = v
+	} else {
+		rd.acc = rd.combine(rd.acc, v)
+	}
+	rd.count++
+	if rd.count == rd.size {
+		rd.slots[gen&1] = rd.acc
+		rd.count = 0
+		rd.gen++
+		rd.cnd.Broadcast()
+	} else {
+		for rd.gen == gen {
+			rd.cnd.Wait()
+		}
+	}
+	out := rd.slots[gen&1]
+	rd.mu.Unlock()
+	return out
+}
+
+func addFloat64(a, b float64) float64 { return a + b }
+func addInt(a, b int) int             { return a + b }
+func maxFloat64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // reduceSlot holds one completed reduction until every rank has read it.
@@ -60,6 +129,10 @@ func NewComm(p int) *Comm {
 	c.barrierCond = sync.NewCond(&c.barrierMu)
 	c.reduceCnd = sync.NewCond(&c.reduceMu)
 	c.reduceSlots = make(map[int]*reduceSlot)
+	c.reduceBuf = make([]interface{}, 0, p)
+	c.redSum = newReducer(p, addFloat64)
+	c.redMax = newReducer(p, maxFloat64)
+	c.redIntSum = newReducer(p, addInt)
 	return c
 }
 
@@ -185,9 +258,6 @@ func (r *Rank) allReduce(v interface{}, combine func(acc, v interface{}) interfa
 	c := r.comm
 	c.reduceMu.Lock()
 	gen := c.reduceGen
-	if c.reduceBuf == nil {
-		c.reduceBuf = make([]interface{}, 0, c.size)
-	}
 	c.reduceBuf = append(c.reduceBuf, v)
 	if len(c.reduceBuf) == c.size {
 		acc := c.reduceBuf[0]
@@ -234,25 +304,18 @@ func AllReduce[T any](r *Rank, v T, combine func(a, b T) T) T {
 	return out
 }
 
-// AllReduceSum returns the sum of v over all ranks.
-func (r *Rank) AllReduceSum(v float64) float64 {
-	return AllReduce(r, v, func(a, b float64) float64 { return a + b })
-}
+// AllReduceSum returns the sum of v over all ranks. It is the
+// per-iteration collective (global dot products), so it runs on a typed
+// reducer: no boxing, no per-round allocation.
+func (r *Rank) AllReduceSum(v float64) float64 { return r.comm.redSum.all(v) }
 
-// AllReduceIntSum returns the integer sum of v over all ranks.
-func (r *Rank) AllReduceIntSum(v int) int {
-	return AllReduce(r, v, func(a, b int) int { return a + b })
-}
+// AllReduceIntSum returns the integer sum of v over all ranks on the
+// allocation-free typed path.
+func (r *Rank) AllReduceIntSum(v int) int { return r.comm.redIntSum.all(v) }
 
-// AllReduceMax returns the maximum of v over all ranks.
-func (r *Rank) AllReduceMax(v float64) float64 {
-	return AllReduce(r, v, func(a, b float64) float64 {
-		if a > b {
-			return a
-		}
-		return b
-	})
-}
+// AllReduceMax returns the maximum of v over all ranks on the
+// allocation-free typed path.
+func (r *Rank) AllReduceMax(v float64) float64 { return r.comm.redMax.all(v) }
 
 // AllGather collects one value from each rank into a slice indexed by rank.
 // Every rank receives the same slice contents.

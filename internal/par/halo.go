@@ -19,7 +19,17 @@ type Halo struct {
 	send []map[int][]int
 	// recv[r][nb] = indices owned by nb that r needs.
 	recv []map[int][]int
+	// credits[r][nb] recycles the packing buffers of the directed edge
+	// r→nb: the sender draws a buffer, the receiver returns it after
+	// unpacking. Two prefilled credits per edge keep Exchange both
+	// allocation-free and deadlock-free: a sender entering round k has
+	// finished round k-1, so its neighbour has finished round k-2 and
+	// returned that round's buffer.
+	credits []map[int]chan *[]float64
 }
+
+// haloTag is the message tag of ghost-value exchanges.
+const haloTag = 2
 
 // NewHalo builds the halo pattern for matrix a with the given row/column
 // ownership (square matrices: rows and columns share the partition).
@@ -69,6 +79,18 @@ func NewHalo(a *sparse.CSR, owner []int, nranks int) *Halo {
 			h.send[o][r] = list
 		}
 	}
+	h.credits = make([]map[int]chan *[]float64, nranks)
+	for r := 0; r < nranks; r++ {
+		h.credits[r] = make(map[int]chan *[]float64, len(h.send[r]))
+		for nb, idx := range h.send[r] {
+			ch := make(chan *[]float64, 2)
+			for k := 0; k < cap(ch); k++ {
+				buf := make([]float64, len(idx))
+				ch <- &buf
+			}
+			h.credits[r][nb] = ch
+		}
+	}
 	if check.Enabled {
 		check.Partition(owner, nranks, "par.NewHalo")
 		for r := 0; r < nranks; r++ {
@@ -104,20 +126,23 @@ func (h *Halo) GhostCount(r int) int {
 func (h *Halo) Exchange(r *Rank, x []float64) {
 	me := r.ID()
 	for nb, idx := range h.send[me] {
-		vals := make([]float64, len(idx))
+		bp := <-h.credits[me][nb] // recycled packing buffer for this edge
+		vals := *bp
 		for k, j := range idx {
 			vals[k] = x[j]
 		}
-		r.Send(nb, 2, vals, 8*len(vals))
+		r.Send(nb, haloTag, bp, 8*len(vals))
 	}
 	for nb, idx := range h.recv[me] {
-		vals := RecvAs[[]float64](r, nb, 2)
+		bp := RecvAs[*[]float64](r, nb, haloTag)
+		vals := *bp
 		if check.Enabled {
 			check.Assert(len(vals) == len(idx), "par.Halo.Exchange: rank %d received %d ghost values from %d, want %d", me, len(vals), nb, len(idx))
 		}
 		for k, j := range idx {
 			x[j] = vals[k]
 		}
+		h.credits[nb][me] <- bp // return the buffer to the sender's pool
 	}
 }
 
@@ -129,12 +154,16 @@ func (h *Halo) MulVec(r *Rank, a *sparse.CSR, x, y []float64) {
 	me := r.ID()
 	nnz := 0
 	for _, i := range h.Rows[me] {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		cols := a.ColIdx[lo:hi]
+		vals := a.Val[lo:hi:hi]
+		vals = vals[:len(cols)] // equal lengths let the compiler drop bounds checks
 		s := 0.0
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			s += a.Val[k] * x[a.ColIdx[k]]
+		for k, j := range cols {
+			s += vals[k] * x[j]
 		}
 		y[i] = s
-		nnz += a.RowPtr[i+1] - a.RowPtr[i]
+		nnz += hi - lo
 	}
 	r.CountFlops(2 * int64(nnz))
 }

@@ -63,6 +63,12 @@ func ParallelMIS(comm *Comm, g *graph.Graph, owner []int, order []int, rank []in
 		s int8
 	}
 
+	// Message tags of the two exchange sub-phases.
+	const (
+		pmisDelTag   = 1
+		pmisStateTag = 2
+	)
+
 	// Owned boundary vertices per rank: those with a cross-rank edge. Their
 	// authoritative state is re-broadcast every round so that third-party
 	// deletions reach every rank that ghosts them.
@@ -81,30 +87,42 @@ func ParallelMIS(comm *Comm, g *graph.Graph, owner []int, order []int, rank []in
 		state := make([]int8, g.N) // local view: Undone/Selected/Deleted
 		mine := localOrder[me]
 
+		// Reusable message buffers, hoisted out of the round loop and
+		// passed by pointer so the steady state neither allocates nor
+		// boxes. Resetting them at the top of a round is safe: the
+		// all-reduce that ended the previous round is a barrier, so every
+		// receiver has already consumed them.
+		ghostDel := make(map[int]*[]int, len(neighbours[me]))
+		for nb := range neighbours[me] {
+			var buf []int
+			ghostDel[nb] = &buf
+		}
+		out := make([]update, 0, len(boundary[me]))
+
 		// exchange runs the two sub-phases: (1) deletions of ghost vertices
 		// are reported to their owners; (2) owners broadcast the states of
 		// their boundary vertices to every neighbouring rank. State views
 		// only advance (states are facts: Undone -> Selected/Deleted).
-		exchange := func(ghostDel map[int][]int) {
+		exchange := func() {
 			for nb := range neighbours[me] {
-				r.Send(nb, 1, ghostDel[nb], 8*len(ghostDel[nb])+8)
+				r.Send(nb, pmisDelTag, ghostDel[nb], 8*len(*ghostDel[nb])+8)
 			}
 			for nb := range neighbours[me] {
-				for _, v := range RecvAs[[]int](r, nb, 1) {
+				for _, v := range *RecvAs[*[]int](r, nb, pmisDelTag) {
 					if state[v] == graph.Undone {
 						state[v] = graph.Deleted
 					}
 				}
 			}
-			out := make([]update, 0, len(boundary[me]))
+			out = out[:0]
 			for _, v := range boundary[me] {
 				out = append(out, update{v, state[v]})
 			}
 			for nb := range neighbours[me] {
-				r.Send(nb, 2, out, 9*len(out)+8)
+				r.Send(nb, pmisStateTag, &out, 9*len(out)+8)
 			}
 			for nb := range neighbours[me] {
-				for _, u := range RecvAs[[]update](r, nb, 2) {
+				for _, u := range *RecvAs[*[]update](r, nb, pmisStateTag) {
 					if state[u.v] == graph.Undone {
 						state[u.v] = u.s
 					}
@@ -139,7 +157,9 @@ func ParallelMIS(comm *Comm, g *graph.Graph, owner []int, order []int, rank []in
 		}
 
 		for {
-			ghostDel := make(map[int][]int)
+			for nb := range ghostDel {
+				*ghostDel[nb] = (*ghostDel[nb])[:0]
+			}
 			changed := 0
 			for _, v := range mine {
 				if state[v] != graph.Undone {
@@ -170,12 +190,13 @@ func ParallelMIS(comm *Comm, g *graph.Graph, owner []int, order []int, rank []in
 						state[w] = graph.Deleted
 						changed++
 						if owner[w] != me {
-							ghostDel[owner[w]] = append(ghostDel[owner[w]], w)
+							lst := ghostDel[owner[w]]
+							*lst = append(*lst, w)
 						}
 					}
 				}
 			}
-			exchange(ghostDel)
+			exchange()
 			undone := 0
 			for _, v := range mine {
 				if state[v] == graph.Undone {

@@ -1,0 +1,59 @@
+package smooth
+
+import (
+	"testing"
+
+	"prometheus/internal/graph"
+)
+
+// TestSmootherSweepsZeroAlloc asserts every smoother's steady-state
+// Smooth and Apply paths are allocation-free: all scratch is hoisted
+// into the smoother at construction time (enforced statically by the
+// hotloop-alloc lint rule, locked in dynamically here).
+func TestSmootherSweepsZeroAlloc(t *testing.T) {
+	a := laplace3D(6)
+	n := a.NRows
+
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			if i < j {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	g := graph.NewGraph(n, edges)
+	nb := DefaultBlockCount(n)
+	bj, err := NewBlockJacobi(a, graph.GreedyPartition(g, nb), nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	smoothers := []struct {
+		name string
+		s    Smoother
+	}{
+		{"Jacobi", NewJacobi(a, 2.0/3)},
+		{"GaussSeidel", NewGaussSeidel(a, 1, true)},
+		{"Chebyshev", NewChebyshev(a, 3, 30)},
+		{"BlockJacobi", bj},
+		{"CGSmoother", NewCGSmoother(a, bj, 2)},
+	}
+	b := make([]float64, n)
+	x := make([]float64, n)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+		r[i] = float64(i%3) - 1
+	}
+	for _, tc := range smoothers {
+		if got := testing.AllocsPerRun(20, func() { tc.s.Smooth(x, b, 2) }); got != 0 {
+			t.Errorf("%s.Smooth allocates %.1f per call, want 0", tc.name, got)
+		}
+		if got := testing.AllocsPerRun(20, func() { tc.s.Apply(r, z) }); got != 0 {
+			t.Errorf("%s.Apply allocates %.1f per call, want 0", tc.name, got)
+		}
+	}
+}

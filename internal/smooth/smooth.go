@@ -95,13 +95,16 @@ func (s *GaussSeidel) sweep(x, b []float64, backward bool) {
 		}
 		sum := b[i]
 		diag := 0.0
-		for p := s.A.RowPtr[i]; p < s.A.RowPtr[i+1]; p++ {
-			j := s.A.ColIdx[p]
+		lo, hi := s.A.RowPtr[i], s.A.RowPtr[i+1]
+		cols := s.A.ColIdx[lo:hi]
+		vals := s.A.Val[lo:hi:hi]
+		vals = vals[:len(cols)] // equal lengths let the compiler drop bounds checks
+		for p, j := range cols {
 			if j == i {
-				diag = s.A.Val[p]
+				diag = vals[p]
 				continue
 			}
-			sum -= s.A.Val[p] * x[j]
+			sum -= vals[p] * x[j]
 		}
 		if diag == 0 {
 			panic(fmt.Sprintf("smooth: zero diagonal at row %d", i))
@@ -140,6 +143,7 @@ type Chebyshev struct {
 	lmin   float64
 	lmax   float64
 	invD   []float64
+	r, d   []float64 // sweep scratch, hoisted so Smooth never allocates
 	flops  int64
 }
 
@@ -179,7 +183,10 @@ func NewChebyshev(a *sparse.CSR, degree int, alpha float64) *Chebyshev {
 		copy(v, w)
 	}
 	lmax *= 1.05 // safety factor
-	return &Chebyshev{A: a, Degree: degree, lmin: lmax / alpha, lmax: lmax, invD: inv}
+	return &Chebyshev{
+		A: a, Degree: degree, lmin: lmax / alpha, lmax: lmax, invD: inv,
+		r: make([]float64, n), d: make([]float64, n),
+	}
 }
 
 // Smooth implements Smoother using the standard Chebyshev recurrence on the
@@ -194,8 +201,7 @@ func (s *Chebyshev) apply(x, b []float64) {
 	nn := s.A.NRows
 	theta := (s.lmax + s.lmin) / 2
 	delta := (s.lmax - s.lmin) / 2
-	r := make([]float64, nn)
-	d := make([]float64, nn)
+	r, d := s.r, s.d
 	s.A.Residual(b, x, r)
 	sigma := theta / delta
 	rho := 1 / sigma
@@ -422,7 +428,9 @@ type CGSmoother struct {
 	A     *sparse.CSR
 	Inner Smoother
 	Iters int // CG iterations per smoothing step (default 1)
-	flops int64
+	// CG vectors, hoisted so every smoothing step is allocation-free.
+	r, z, p, ap []float64
+	flops       int64
 }
 
 // NewCGSmoother wraps inner in a CG iteration.
@@ -430,17 +438,19 @@ func NewCGSmoother(a *sparse.CSR, inner Smoother, iters int) *CGSmoother {
 	if iters < 1 {
 		iters = 1
 	}
-	return &CGSmoother{A: a, Inner: inner, Iters: iters}
+	nn := a.NRows
+	return &CGSmoother{
+		A: a, Inner: inner, Iters: iters,
+		r: make([]float64, nn), z: make([]float64, nn),
+		p: make([]float64, nn), ap: make([]float64, nn),
+	}
 }
 
 // Smooth implements Smoother: n×Iters preconditioned CG iterations
 // continuing from the current x.
 func (s *CGSmoother) Smooth(x, b []float64, n int) {
 	nn := s.A.NRows
-	r := make([]float64, nn)
-	z := make([]float64, nn)
-	p := make([]float64, nn)
-	ap := make([]float64, nn)
+	r, z, p, ap := s.r, s.z, s.p, s.ap
 	s.A.Residual(b, x, r)
 	s.flops += s.A.MulVecFlops() + int64(nn)
 	s.Inner.Apply(r, z)

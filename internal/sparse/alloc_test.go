@@ -1,0 +1,29 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSpMVZeroAlloc locks in the zero-allocation guarantee that the
+// hotloop-alloc lint rule enforces statically: steady-state SpMV must
+// not touch the allocator.
+func TestSpMVZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randCSR(rng, 300, 300, 0.05)
+	x := make([]float64, a.NCols)
+	y := make([]float64, a.NRows)
+	r := make([]float64, a.NRows)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	if n := testing.AllocsPerRun(50, func() { a.MulVec(x, y) }); n != 0 {
+		t.Errorf("MulVec allocates %.1f per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { a.MulVecRange(x, y, 0, a.NRows/2) }); n != 0 {
+		t.Errorf("MulVecRange allocates %.1f per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { a.Residual(y, x, r) }); n != 0 {
+		t.Errorf("Residual allocates %.1f per call, want 0", n)
+	}
+}
