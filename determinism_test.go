@@ -1,0 +1,86 @@
+package prometheus
+
+import (
+	"math"
+	"testing"
+
+	"prometheus/internal/problems"
+)
+
+// TestSolverDeterminismSpheres is the regression oracle for the map-order
+// lint rule: two cold builds of the sphere-in-cube hierarchy must produce
+// bit-identical coarse-grid sizes and residual histories. Any map-ordered
+// iteration that leaks into the coarsening pipeline (MIS ordering, face
+// classification, Delaunay inputs, graph adjacency) shows up here as a
+// diverging vertex count or residual.
+func TestSolverDeterminismSpheres(t *testing.T) {
+	type outcome struct {
+		levels    int
+		counts    []int
+		residuals []uint64
+		solution  []uint64
+	}
+	run := func() outcome {
+		s := problems.NewSpheresConfig(problems.SpheresConfig{
+			Layers: 3, ElemsPerLayer: 1, CoreElems: 2, OuterElems: 2,
+		})
+		solver, err := NewSolver(s.Mesh, s.Cons, Options{RTol: 1e-8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewProblem(s.Mesh, s.Models, true)
+		k, _, err := p.AssembleTangent(make([]float64, s.Mesh.NumDOF()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zero loads: the RHS comes entirely from the prescribed crush
+		// displacements in the problem's constraint set.
+		u, res, err := solver.SolveLinear(k, make([]float64, s.Mesh.NumDOF()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, _ := solver.VertexReduction()
+		bits := func(xs []float64) []uint64 {
+			out := make([]uint64, len(xs))
+			for i, x := range xs {
+				out[i] = math.Float64bits(x)
+			}
+			return out
+		}
+		return outcome{
+			levels:    solver.NumLevels(),
+			counts:    counts,
+			residuals: bits(res.Residuals),
+			solution:  bits(u),
+		}
+	}
+
+	a, b := run(), run()
+	if a.levels != b.levels {
+		t.Fatalf("level counts differ between runs: %d vs %d", a.levels, b.levels)
+	}
+	if len(a.counts) != len(b.counts) {
+		t.Fatalf("vertex-count shapes differ: %v vs %v", a.counts, b.counts)
+	}
+	for i := range a.counts {
+		if a.counts[i] != b.counts[i] {
+			t.Fatalf("coarse-grid sizes diverge at level %d: %v vs %v", i, a.counts, b.counts)
+		}
+	}
+	if len(a.residuals) != len(b.residuals) {
+		t.Fatalf("residual histories have different lengths: %d vs %d", len(a.residuals), len(b.residuals))
+	}
+	for i := range a.residuals {
+		if a.residuals[i] != b.residuals[i] {
+			t.Fatalf("residual history diverges at iteration %d (bitwise)", i)
+		}
+	}
+	for i := range a.solution {
+		if a.solution[i] != b.solution[i] {
+			t.Fatalf("solution diverges at dof %d (bitwise)", i)
+		}
+	}
+	if a.levels < 2 {
+		t.Fatalf("spheres problem did not coarsen: %d levels", a.levels)
+	}
+}

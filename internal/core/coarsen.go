@@ -32,6 +32,7 @@ import (
 	"prometheus/internal/graph"
 	"prometheus/internal/mesh"
 	"prometheus/internal/par"
+	"prometheus/internal/sortutil"
 	"prometheus/internal/sparse"
 	"prometheus/internal/topo"
 )
@@ -188,7 +189,10 @@ func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 		check.IndependentSet(mis, mg.N, mg.Neighbors, cls.Immortal(), "core.coarsenOnce")
 	}
 
-	// Coarse vertex coordinates.
+	// Coarse vertex coordinates. coarseOf and the nearPairs set below are
+	// lookup-only maps — every traversal that builds output (restriction
+	// rows, coarse elements) runs over slices or sortutil.Keys, so the
+	// construction is deterministic; the map-order lint rule enforces this.
 	coords := make([]geom.Vec3, len(mis))
 	coarseOf := make(map[int]int, len(mis)) // parent vertex -> coarse index
 	for i, v := range mis {
@@ -360,7 +364,9 @@ func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 		}
 	}
 	// Material: majority of parent vertex materials (only used by the
-	// reclassification face heuristics on coarser grids).
+	// reclassification face heuristics on coarser grids). Ties go to the
+	// lower material id: sorted keys with a strict > keep the first (and
+	// therefore smallest) maximal id, independent of map order.
 	vertMat := vertexMaterials(m)
 	mats := make([]int, len(elems))
 	for e, conn := range elems {
@@ -369,8 +375,8 @@ func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 			count[vertMat[mis[cv]]]++
 		}
 		best, bestN := 0, -1
-		for mat, n := range count {
-			if n > bestN || (n == bestN && mat < best) {
+		for _, mat := range sortutil.Keys(count) {
+			if n := count[mat]; n > bestN {
 				best, bestN = mat, n
 			}
 		}
@@ -506,8 +512,8 @@ func vertexMaterials(m *mesh.Mesh) []int {
 	out := make([]int, m.NumVerts())
 	for v, cm := range counts {
 		best, bestN := 0, -1
-		for mat, n := range cm {
-			if n > bestN || (n == bestN && mat < best) {
+		for _, mat := range sortutil.Keys(cm) {
+			if n := cm[mat]; n > bestN {
 				best, bestN = mat, n
 			}
 		}

@@ -15,9 +15,9 @@ package delaunay
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"prometheus/internal/geom"
+	"prometheus/internal/sortutil"
 )
 
 // ErrDegenerate is returned when the point set cannot be tetrahedralized
@@ -309,11 +309,8 @@ func (tr *Triangulation) insert(p int) error {
 		}
 		if len(reach) != len(inCavity) {
 			inCavity = reach
-			cavity = cavity[:0]
-			for ti := range reach {
-				cavity = append(cavity, ti)
-			}
-			sort.Ints(cavity) // keep the construction deterministic
+			// Sorted keys keep the construction deterministic.
+			cavity = sortutil.KeysInto(cavity, reach)
 		}
 		boundary = boundary[:0]
 		evict := -1

@@ -9,6 +9,8 @@ package graph
 
 import (
 	"sort"
+
+	"prometheus/internal/sortutil"
 )
 
 // Graph is an undirected graph in CSR adjacency form. Self-loops are not
@@ -48,13 +50,10 @@ func fromSets(n int, adj []map[int]struct{}) *Graph {
 	}
 	ptr[n] = total
 	flat := make([]int, total)
+	var buf []int
 	for i, s := range adj {
-		k := ptr[i]
-		for v := range s {
-			flat[k] = v
-			k++
-		}
-		sort.Ints(flat[ptr[i]:k])
+		buf = sortutil.KeysInto(buf, s)
+		copy(flat[ptr[i]:ptr[i+1]], buf)
 	}
 	return &Graph{N: n, Ptr: ptr, Adj: flat}
 }

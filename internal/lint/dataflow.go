@@ -115,51 +115,17 @@ func analyzeHot(pkg *Package, kernels, roots []string, checkPath string) *hotAna
 	return h
 }
 
-// collectUnits indexes every function body and the objects that call
-// into it, seeding hotness at kernel entry points.
+// collectUnits adopts the shared function index (spmd.go), seeding
+// hotness at kernel entry points.
 func (h *hotAnalysis) collectUnits() {
-	for _, f := range h.pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.FuncDecl:
-				if x.Body == nil {
-					return true
-				}
-				u := &hotUnit{body: x.Body, hot: h.roots[x.Name.Name]}
-				h.units[x] = u
-				if obj := h.pkg.Info.Defs[x.Name]; obj != nil {
-					h.objToUnit[obj] = x
-				}
-			case *ast.FuncLit:
-				if _, seen := h.units[x]; !seen {
-					h.units[x] = &hotUnit{body: x.Body}
-				}
-			case *ast.AssignStmt:
-				// exchange := func(...) {...} — bind the closure body to
-				// the local variable so calls to it propagate hotness.
-				if len(x.Lhs) != len(x.Rhs) {
-					return true
-				}
-				for i, rhs := range x.Rhs {
-					lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
-					if !ok {
-						continue
-					}
-					id, ok := x.Lhs[i].(*ast.Ident)
-					if !ok {
-						continue
-					}
-					obj := h.pkg.Info.Defs[id]
-					if obj == nil {
-						obj = h.pkg.Info.Uses[id]
-					}
-					if obj != nil {
-						h.objToUnit[obj] = lit
-					}
-				}
-			}
-			return true
-		})
+	ix := indexFuncs(h.pkg)
+	h.objToUnit = ix.objToUnit
+	for node, body := range ix.bodies {
+		u := &hotUnit{body: body}
+		if d, ok := node.(*ast.FuncDecl); ok {
+			u.hot = h.roots[d.Name.Name]
+		}
+		h.units[node] = u
 	}
 }
 
@@ -168,23 +134,11 @@ func (h *hotAnalysis) inKernelSet(path string) bool {
 	return pathInSet(path, h.kernels)
 }
 
-// calleeObj resolves the called object: a *types.Func for ordinary and
-// interface calls, or the bound-closure variable for local closures.
+// calleeObj resolves the called object through the shared resolver
+// (spmd.go): a *types.Func for ordinary and interface calls, or the
+// bound-closure variable for local closures.
 func (h *hotAnalysis) calleeObj(call *ast.CallExpr) types.Object {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		return h.pkg.Info.Uses[fun]
-	case *ast.SelectorExpr:
-		return h.pkg.Info.Uses[fun.Sel]
-	case *ast.IndexExpr: // generic instantiation: RecvAs[T](...)
-		switch x := ast.Unparen(fun.X).(type) {
-		case *ast.Ident:
-			return h.pkg.Info.Uses[x]
-		case *ast.SelectorExpr:
-			return h.pkg.Info.Uses[x.Sel]
-		}
-	}
-	return nil
+	return calleeObject(h.pkg, call)
 }
 
 // isHotCall reports whether the call invokes a kernel entry point (by

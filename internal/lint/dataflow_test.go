@@ -37,6 +37,36 @@ func RecvAs[T any](r *Rank, from, tag int) T {
 	var zero T
 	return zero
 }
+
+// Comm is a fixture communicator.
+type Comm struct{}
+
+// NewComm builds a fixture communicator.
+func NewComm(p int) *Comm { return &Comm{} }
+
+// Run runs a rank body on every rank.
+func (c *Comm) Run(fn func(r *Rank)) {}
+
+// RunCounted runs a rank body and reports a flop count.
+func (c *Comm) RunCounted(fn func(r *Rank)) int { return 0 }
+
+// ID returns the rank id.
+func (r *Rank) ID() int { return 0 }
+
+// Barrier synchronizes all ranks.
+func (r *Rank) Barrier() {}
+
+// AllReduceSum reduces a float sum.
+func (r *Rank) AllReduceSum(v float64) float64 { return v }
+
+// AllReduceIntSum reduces an int sum.
+func (r *Rank) AllReduceIntSum(v int) int { return v }
+
+// AllGather gathers boxed values.
+func (r *Rank) AllGather(v interface{}) []interface{} { return nil }
+
+// AllGatherAs gathers typed values.
+func AllGatherAs[T any](r *Rank, v T) []T { return nil }
 `}
 
 func TestHotLoopAllocRegions(t *testing.T) {

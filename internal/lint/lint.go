@@ -16,7 +16,17 @@
 //     packages' hot regions (see dataflow.go for the region analysis);
 //   - comm-protocol: par message tags must be constants, and go
 //     statements must not capture loop variables;
-//   - check-guard: invariant computation must sit under if check.Enabled.
+//   - check-guard: invariant computation must sit under if check.Enabled;
+//   - collective-uniformity: no collective (Barrier, AllReduce family,
+//     AllGather) may be reachable under rank-dependent control flow — a
+//     rank that skips a collective deadlocks the communicator (see
+//     spmd.go for the interprocedural taint analysis);
+//   - sendrecv-match: per constant message tag, Send payload types must
+//     match Recv/RecvAs payload types, every sent tag must be received
+//     (and vice versa), and self-sends are flagged;
+//   - map-order: the coarsening pipeline must not range over maps while
+//     writing output slices; iterate sortutil.Keys instead so runs are
+//     bitwise reproducible.
 //
 // A finding can be suppressed in place with a directive comment on the
 // same line or the line above:
@@ -99,6 +109,9 @@ func DefaultRules() []Rule {
 		HotLoopAlloc{},
 		CommProtocol{},
 		CheckGuard{},
+		CollectiveUniformity{},
+		SendRecvMatch{},
+		MapOrder{},
 	}
 }
 

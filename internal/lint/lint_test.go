@@ -351,14 +351,17 @@ func f(v interface{}, a, b float64) {
 
 func TestDefaultRulesComplete(t *testing.T) {
 	want := map[string]bool{
-		"float-equality":    true,
-		"library-panic":     true,
-		"unchecked-error":   true,
-		"naked-type-assert": true,
-		"exported-doc":      true,
-		"hotloop-alloc":     true,
-		"comm-protocol":     true,
-		"check-guard":       true,
+		"float-equality":        true,
+		"library-panic":         true,
+		"unchecked-error":       true,
+		"naked-type-assert":     true,
+		"exported-doc":          true,
+		"hotloop-alloc":         true,
+		"comm-protocol":         true,
+		"check-guard":           true,
+		"collective-uniformity": true,
+		"sendrecv-match":        true,
+		"map-order":             true,
 	}
 	names := make([]string, 0, len(want))
 	for _, r := range DefaultRules() {

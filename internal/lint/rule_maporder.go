@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder enforces determinism in the coarsening pipeline: ranging over
+// a map while writing output slices or matrices makes the result depend
+// on Go's randomized map iteration order, so two runs of the same solve
+// produce different coarse grids, different operator orderings and
+// different residual histories. The rule flags, inside the configured
+// packages, every `range` over a map whose body indexes into or appends
+// to a slice/array variable declared outside the loop body — the outputs
+// that survive the loop. The sanctioned fix is sortutil.Keys /
+// sortutil.KeysInto: ranging the sorted key slice is order-deterministic
+// and passes this rule by construction. Map ranges that only read, or
+// that fold into order-insensitive accumulators, are left alone.
+type MapOrder struct {
+	// Packages is the package set whose determinism the rule protects
+	// (default: the coarsening pipeline — core, graph, topo, delaunay).
+	Packages []string
+}
+
+// Name implements Rule.
+func (MapOrder) Name() string { return "map-order" }
+
+// DeterministicPackages is the default package set for MapOrder: the
+// serial coarsening pipeline, whose outputs seed every parallel run and
+// must be bitwise reproducible.
+func DeterministicPackages() []string {
+	return []string{
+		"prometheus/internal/core",
+		"prometheus/internal/graph",
+		"prometheus/internal/topo",
+		"prometheus/internal/delaunay",
+	}
+}
+
+// Check implements Rule.
+func (r MapOrder) Check(pkg *Package) []Issue {
+	pkgs := r.Packages
+	if pkgs == nil {
+		pkgs = DeterministicPackages()
+	}
+	if !pathInSet(pkg.Path, pkgs) {
+		return nil
+	}
+	var out []Issue
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			out = append(out, r.checkBody(pkg, rng)...)
+			return true
+		})
+	}
+	return out
+}
+
+// checkBody flags order-dependent writes inside one map-range body:
+// indexed assignments into, and appends onto, slice/array variables that
+// outlive the loop.
+func (r MapOrder) checkBody(pkg *Package, rng *ast.RangeStmt) []Issue {
+	var out []Issue
+	body := rng.Body
+	outlives := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < body.Pos() || obj.Pos() > body.End())
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			// dst[i] = ... where dst is an outside slice/array.
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				obj, name := rootObject(pkg, ix.X)
+				if !outlives(obj) || !sliceOrArray(pkg.Info.Types[ix.X].Type) {
+					continue
+				}
+				out = append(out, issue(pkg, asg, r.Name(), Error,
+					"map iteration order leaks into %s; range over sortutil.Keys of the map instead", name))
+				continue
+			}
+			// dst = append(dst, ...) where dst is an outside slice.
+			obj, name := rootObject(pkg, lhs)
+			if !outlives(obj) || i >= len(asg.Rhs) {
+				continue
+			}
+			call, ok := ast.Unparen(asg.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isAppendCall(pkg, call) {
+				continue
+			}
+			if !sliceOrArray(pkg.Info.Types[lhs].Type) {
+				continue
+			}
+			out = append(out, issue(pkg, asg, r.Name(), Error,
+				"append into %s under map iteration makes its element order nondeterministic; range over sortutil.Keys of the map instead", name))
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject resolves the base variable of an lvalue expression,
+// unwrapping indexing and field selection, and returns it with its
+// spelled name.
+func rootObject(pkg *Package, e ast.Expr) (types.Object, string) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// m.Field: attribute writes to the selected field's root.
+			if obj := pkg.Info.Uses[x.Sel]; obj != nil {
+				return obj, x.Sel.Name
+			}
+			e = x.X
+		case *ast.Ident:
+			obj := pkg.Info.Uses[x]
+			if obj == nil {
+				obj = pkg.Info.Defs[x]
+			}
+			return obj, x.Name
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// sliceOrArray reports whether the type is a slice or array (the
+// order-sensitive output shapes; map-into-map writes commute).
+func sliceOrArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// isAppendCall reports the append builtin.
+func isAppendCall(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, builtin := pkg.Info.Uses[id].(*types.Builtin)
+	return builtin
+}

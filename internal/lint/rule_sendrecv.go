@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// SendRecvMatch abstractly pairs point-to-point sends with receives. The
+// par protocol discipline (enforced by comm-protocol) keeps every message
+// tag a compile-time constant, which makes the pairing decidable per
+// package: for each constant tag value, the set of Send payload types
+// must line up with the set of Recv/RecvAs payload types.
+//
+//   - a tag that is sent but never received (or received but never sent)
+//     in the package is an unmatched protocol edge — with tags constant
+//     and protocols package-local, that message can only pile up in the
+//     pending queue or block a rank forever;
+//   - RecvAs[T] against a tag whose sends carry a different payload type
+//     is a guaranteed runtime panic;
+//   - a send whose payload type no typed receive accepts (and no untyped
+//     Recv wildcard exists) can never be consumed as sent;
+//   - sending to the rank's own ID (r.Send(r.ID(), ...) or through a
+//     variable bound to it) is flagged: self-messages silently bypass the
+//     network path and are almost always a neighbour-list bug.
+//
+// Calls whose tag argument is not constant (only legal inside par itself,
+// where RecvAs forwards its tag to Recv) are ignored.
+type SendRecvMatch struct {
+	// ParPath is the import path of the message-passing package
+	// (default prometheus/internal/par).
+	ParPath string
+}
+
+// Name implements Rule.
+func (SendRecvMatch) Name() string { return "sendrecv-match" }
+
+// sendSite is one constant-tag Send call.
+type sendSite struct {
+	call    *ast.CallExpr
+	payload types.Type
+	self    bool
+}
+
+// recvSite is one constant-tag Recv/RecvAs call; payload is nil for the
+// untyped Recv wildcard.
+type recvSite struct {
+	call    *ast.CallExpr
+	payload types.Type
+}
+
+// Check implements Rule.
+func (r SendRecvMatch) Check(pkg *Package) []Issue {
+	parPath := r.ParPath
+	if parPath == "" {
+		parPath = "prometheus/internal/par"
+	}
+	if !usesPackage(pkg, parPath) {
+		return nil
+	}
+
+	// me := r.ID() bindings, for self-send detection through a variable.
+	ownID := collectOwnIDs(pkg, parPath)
+
+	sends := make(map[int64][]sendSite)
+	recvs := make(map[int64][]recvSite)
+	var tags []int64 // first-seen order, for deterministic reporting
+	seenTag := func(tag int64) {
+		if _, ok := sends[tag]; ok {
+			return
+		}
+		if _, ok := recvs[tag]; ok {
+			return
+		}
+		tags = append(tags, tag)
+	}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := resolvedCallee(pkg, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != parPath {
+				return true
+			}
+			switch fn.Name() {
+			case "Send": // (to, tag, data, bytes)
+				if len(call.Args) < 3 {
+					return true
+				}
+				tag, ok := constIntArg(pkg, call.Args[1])
+				if !ok {
+					return true
+				}
+				seenTag(tag)
+				sends[tag] = append(sends[tag], sendSite{
+					call:    call,
+					payload: payloadType(pkg, call.Args[2]),
+					self:    isSelfSend(pkg, call, ownID),
+				})
+			case "Recv": // (from, tag)
+				if len(call.Args) < 2 {
+					return true
+				}
+				tag, ok := constIntArg(pkg, call.Args[1])
+				if !ok {
+					return true
+				}
+				seenTag(tag)
+				recvs[tag] = append(recvs[tag], recvSite{call: call})
+			case "RecvAs": // RecvAs[T](r, from, tag)
+				if len(call.Args) < 3 {
+					return true
+				}
+				tag, ok := constIntArg(pkg, call.Args[2])
+				if !ok {
+					return true
+				}
+				seenTag(tag)
+				recvs[tag] = append(recvs[tag], recvSite{
+					call:    call,
+					payload: pkg.Info.Types[call].Type,
+				})
+			}
+			return true
+		})
+	}
+
+	var out []Issue
+	for _, tag := range tags {
+		ss, rs := sends[tag], recvs[tag]
+		for _, s := range ss {
+			if s.self {
+				out = append(out, issue(pkg, s.call, r.Name(), Error,
+					"rank sends tag %d to its own ID; self-messages bypass the network and usually indicate a neighbour-list bug", tag))
+			}
+		}
+		switch {
+		case len(rs) == 0:
+			for _, s := range ss {
+				out = append(out, issue(pkg, s.call, r.Name(), Error,
+					"tag %d is sent but never received in this package; the message can only block a rank or leak into the pending queue", tag))
+			}
+		case len(ss) == 0:
+			for _, rv := range rs {
+				out = append(out, issue(pkg, rv.call, r.Name(), Error,
+					"tag %d is received but never sent in this package; the receive blocks forever", tag))
+			}
+		default:
+			hasWild := false
+			for _, rv := range rs {
+				if rv.payload == nil {
+					hasWild = true
+				}
+			}
+			for _, rv := range rs {
+				if rv.payload == nil {
+					continue
+				}
+				if !anyIdentical(rv.payload, sendTypes(ss)) {
+					out = append(out, issue(pkg, rv.call, r.Name(), Error,
+						"tag %d is received as %s but sent as %s; RecvAs panics on the payload mismatch",
+						tag, typeName(pkg, rv.payload), typeNames(pkg, sendTypes(ss))))
+				}
+			}
+			if !hasWild {
+				for _, s := range ss {
+					if s.payload != nil && !anyIdentical(s.payload, recvTypes(rs)) {
+						out = append(out, issue(pkg, s.call, r.Name(), Error,
+							"tag %d sends %s but it is only received as %s; no receive can consume this payload",
+							tag, typeName(pkg, s.payload), typeNames(pkg, recvTypes(rs))))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// collectOwnIDs maps variables bound directly from a Rank.ID() call to
+// the Rank object whose ID they hold (me := r.ID()).
+func collectOwnIDs(pkg *Package, parPath string) map[types.Object]types.Object {
+	out := make(map[types.Object]types.Object)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		rank := rankIDReceiver(pkg, parPath, call)
+		if rank == nil {
+			return
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				out[obj] = rank
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Rhs {
+						record(x.Lhs[i], x.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) == len(x.Values) {
+					for i := range x.Values {
+						record(x.Names[i], x.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// rankIDReceiver returns the receiver object of an r.ID() call on the par
+// Rank type, or nil.
+func rankIDReceiver(pkg *Package, parPath string, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ID" {
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != parPath {
+		return nil
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return pkg.Info.Uses[id]
+	}
+	return nil
+}
+
+// isSelfSend reports whether the Send call's destination is the sending
+// rank's own ID: r.Send(r.ID(), ...) or me := r.ID(); r.Send(me, ...).
+func isSelfSend(pkg *Package, call *ast.CallExpr, ownID map[types.Object]types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recvID, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	sender := pkg.Info.Uses[recvID]
+	if sender == nil {
+		return false
+	}
+	to := ast.Unparen(call.Args[0])
+	if idCall, ok := to.(*ast.CallExpr); ok {
+		if rank := rankIDReceiverAny(pkg, idCall); rank != nil && rank == sender {
+			return true
+		}
+	}
+	if id, ok := to.(*ast.Ident); ok {
+		if rank, ok := ownID[pkg.Info.Uses[id]]; ok && rank == sender {
+			return true
+		}
+	}
+	return false
+}
+
+// rankIDReceiverAny is rankIDReceiver without the package filter; the
+// caller has already established the Send belongs to the par API.
+func rankIDReceiverAny(pkg *Package, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ID" {
+		return nil
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return pkg.Info.Uses[id]
+	}
+	return nil
+}
+
+// constIntArg extracts a constant integer argument value.
+func constIntArg(pkg *Package, arg ast.Expr) (int64, bool) {
+	tv := pkg.Info.Types[arg]
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// payloadType returns the defaulted static type of the payload argument;
+// nil payloads (untyped nil) return nil and match anything.
+func payloadType(pkg *Package, arg ast.Expr) types.Type {
+	t := pkg.Info.Types[arg].Type
+	if t == nil || isUntypedNil(t) {
+		return nil
+	}
+	return types.Default(t)
+}
+
+// sendTypes returns the distinct non-nil payload types of a send set.
+func sendTypes(ss []sendSite) []types.Type {
+	var out []types.Type
+	for _, s := range ss {
+		if s.payload != nil && !containsType(s.payload, out) {
+			out = append(out, s.payload)
+		}
+	}
+	return out
+}
+
+// recvTypes returns the distinct typed-receive payload types.
+func recvTypes(rs []recvSite) []types.Type {
+	var out []types.Type
+	for _, r := range rs {
+		if r.payload != nil && !containsType(r.payload, out) {
+			out = append(out, r.payload)
+		}
+	}
+	return out
+}
+
+// containsType reports whether t is identical to a member of set.
+func containsType(t types.Type, set []types.Type) bool {
+	for _, s := range set {
+		if types.Identical(t, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyIdentical is containsType with empty-set match: an empty set records
+// no constraint from the other side (all payloads there were untyped).
+func anyIdentical(t types.Type, set []types.Type) bool {
+	return len(set) == 0 || containsType(t, set)
+}
+
+// typeName renders a type relative to the package.
+func typeName(pkg *Package, t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(pkg.Types))
+}
+
+// typeNames renders a type list for diagnostics.
+func typeNames(pkg *Package, ts []types.Type) string {
+	if len(ts) == 0 {
+		return "(unknown)"
+	}
+	out := ""
+	for i, t := range ts {
+		if i > 0 {
+			out += ", "
+		}
+		out += typeName(pkg, t)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package lint
+
+// CollectiveUniformity is the static SPMD protocol verifier: rooted at
+// rank bodies (function literals handed to Comm.Run/RunCounted) and at
+// functions operating on a par.Rank, it proves that no collective —
+// Barrier, the AllReduce family, AllGather/AllGatherAs, or the typed
+// reducer's all — is reachable under rank-dependent control flow: a
+// branch on an r.ID()-derived value, or a loop whose trip count is
+// rank-dependent. A rank that skips (or repeats) a collective the others
+// execute deadlocks the whole communicator; this rule turns that hang
+// into a compile-time finding. Collective results themselves are uniform
+// across ranks, so `if r.AllReduceIntSum(n) == 0 { break }` is the
+// sanctioned uniform loop exit. See spmd.go for the underlying analysis.
+type CollectiveUniformity struct {
+	// ParPath is the import path of the message-passing package
+	// (default prometheus/internal/par).
+	ParPath string
+	// CheckPath is the invariant package whose Enabled guard exempts a
+	// block (default prometheus/internal/check).
+	CheckPath string
+}
+
+// Name implements Rule.
+func (CollectiveUniformity) Name() string { return "collective-uniformity" }
+
+// Check implements Rule.
+func (r CollectiveUniformity) Check(pkg *Package) []Issue {
+	parPath := r.ParPath
+	if parPath == "" {
+		parPath = "prometheus/internal/par"
+	}
+	checkPath := r.CheckPath
+	if checkPath == "" {
+		checkPath = "prometheus/internal/check"
+	}
+	var out []Issue
+	analyzeSPMD(pkg, parPath, checkPath, spmdIssuef(pkg, r.Name(), &out))
+	return out
+}

@@ -1,0 +1,755 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the interprocedural SPMD protocol analysis behind
+// the collective-uniformity rule. The model: rank bodies — function
+// literals handed to Comm.Run/RunCounted — and any function taking a
+// par.Rank execute on every rank simultaneously, and the collectives they
+// reach (Barrier, the AllReduce family, AllGather, the reducer's all)
+// must be reached by every rank the same number of times in the same
+// order, or the runtime deadlocks. The analysis therefore proves that no
+// collective is reachable under rank-dependent control flow:
+//
+//   - taint seeds at r.ID() (and the Rank.id field inside the par
+//     package) and propagates through assignments, range bindings and
+//     same-package call arguments to a fixpoint;
+//   - collective RESULTS are uniform by construction — every rank gets
+//     the same reduction value — so taint scanning skips collective call
+//     subtrees; `if r.AllReduceIntSum(undone) == 0 { break }` is the
+//     sanctioned uniform loop exit, not a violation;
+//   - a branch is rank-dependent when its condition is tainted; a loop is
+//     rank-dependent when its condition or range operand is tainted, or
+//     when it can break/continue under a tainted branch (rank-dependent
+//     trip count);
+//   - a tainted branch that returns makes the remainder of its block
+//     rank-dependent too (ranks that took the branch are gone);
+//   - the check.Enabled debug gate is exempt, mirroring dataflow.go;
+//   - calls are resolved through the shared function index: a call made
+//     under rank-dependent control flow to a function that (transitively)
+//     performs a collective is reported at the call site.
+//
+// The analysis is intentionally asymmetric with dataflow.go's hot-path
+// analysis: hotness spreads down the call graph from entry points, while
+// rank-dependence spreads down the control-flow tree within each body and
+// crosses calls only through the has-collective summary.
+
+// funcIndex is the shared function-body index used by both the hot-path
+// dataflow and the SPMD analysis: every *ast.FuncDecl and *ast.FuncLit of
+// the package keyed by its node, plus the resolution map from callable
+// objects (declared functions and closure-bound local variables) to their
+// unit node.
+type funcIndex struct {
+	bodies    map[ast.Node]*ast.BlockStmt
+	objToUnit map[types.Object]ast.Node
+}
+
+// indexFuncs builds the function index for one package.
+func indexFuncs(pkg *Package) *funcIndex {
+	ix := &funcIndex{
+		bodies:    make(map[ast.Node]*ast.BlockStmt),
+		objToUnit: make(map[types.Object]ast.Node),
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body == nil {
+					return true
+				}
+				ix.bodies[x] = x.Body
+				if obj := pkg.Info.Defs[x.Name]; obj != nil {
+					ix.objToUnit[obj] = x
+				}
+			case *ast.FuncLit:
+				if _, seen := ix.bodies[x]; !seen {
+					ix.bodies[x] = x.Body
+				}
+			case *ast.AssignStmt:
+				// exchange := func(...) {...} — bind the closure body to
+				// the local variable so calls through it resolve.
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, rhs := range x.Rhs {
+					lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					id, ok := x.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pkg.Info.Defs[id]
+					if obj == nil {
+						obj = pkg.Info.Uses[id]
+					}
+					if obj != nil {
+						ix.objToUnit[obj] = lit
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ix
+}
+
+// calleeObject resolves the called object of a call expression: a
+// *types.Func for ordinary, method and interface calls (including generic
+// instantiations like RecvAs[T](...)), or the bound variable for calls
+// through local closures.
+func calleeObject(pkg *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[fun.Sel]
+	case *ast.IndexExpr:
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			return pkg.Info.Uses[x]
+		case *ast.SelectorExpr:
+			return pkg.Info.Uses[x.Sel]
+		}
+	case *ast.IndexListExpr:
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			return pkg.Info.Uses[x]
+		case *ast.SelectorExpr:
+			return pkg.Info.Uses[x.Sel]
+		}
+	}
+	return nil
+}
+
+// collectiveNames are the par operations every rank must execute
+// uniformly. "all" is the unexported typed-reducer method inside par
+// itself; the rest are the public collective API.
+var collectiveNames = map[string]bool{
+	"Barrier":         true,
+	"AllReduce":       true,
+	"AllReduceSum":    true,
+	"AllReduceIntSum": true,
+	"AllReduceMax":    true,
+	"AllGather":       true,
+	"AllGatherAs":     true,
+	"all":             true,
+}
+
+// spmdUnit is one analyzable function body in the SPMD call graph.
+type spmdUnit struct {
+	node          ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body          *ast.BlockStmt
+	params        []types.Object
+	isRoot        bool // rank body, or takes/receives a par.Rank
+	hasCollective bool // performs a collective, directly or transitively
+	reachable     bool
+}
+
+// name returns a human-readable unit name for diagnostics.
+func (u *spmdUnit) name() string {
+	if d, ok := u.node.(*ast.FuncDecl); ok {
+		return d.Name.Name
+	}
+	return "function literal"
+}
+
+// spmdAnalysis is the per-package state of the SPMD protocol analysis.
+type spmdAnalysis struct {
+	pkg       *Package
+	parPath   string
+	checkPath string
+
+	units     map[ast.Node]*spmdUnit
+	objToUnit map[types.Object]ast.Node
+	tainted   map[types.Object]bool
+	changed   bool
+
+	report func(n ast.Node, format string, args ...interface{})
+	seen   map[token.Pos]bool
+}
+
+// analyzeSPMD runs the full analysis for one package and reports
+// violations through report. It returns early when the package does not
+// touch the par runtime.
+func analyzeSPMD(pkg *Package, parPath, checkPath string, report func(n ast.Node, format string, args ...interface{})) {
+	if !usesPackage(pkg, parPath) {
+		return
+	}
+	a := &spmdAnalysis{
+		pkg:       pkg,
+		parPath:   parPath,
+		checkPath: checkPath,
+		units:     make(map[ast.Node]*spmdUnit),
+		tainted:   make(map[types.Object]bool),
+		seen:      make(map[token.Pos]bool),
+	}
+	a.report = func(n ast.Node, format string, args ...interface{}) {
+		if a.seen[n.Pos()] {
+			return
+		}
+		a.seen[n.Pos()] = true
+		report(n, format, args...)
+	}
+	a.collectUnits()
+	if !a.markRoots() {
+		return
+	}
+	a.propagateTaint()
+	a.propagateCollectives()
+	a.markReachable()
+	for _, f := range a.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if u := a.units[n]; u != nil && u.reachable {
+				a.walkList(u.body.List, false)
+			}
+			return true
+		})
+	}
+}
+
+// usesPackage reports whether pkg is, or imports, the given path.
+func usesPackage(pkg *Package, path string) bool {
+	if pkg.Path == path || pkg.Types == nil {
+		return pkg.Path == path
+	}
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == path {
+			return true
+		}
+	}
+	return false
+}
+
+// collectUnits indexes every function body and records its parameter
+// objects for interprocedural taint propagation.
+func (a *spmdAnalysis) collectUnits() {
+	ix := indexFuncs(a.pkg)
+	a.objToUnit = ix.objToUnit
+	for node, body := range ix.bodies {
+		u := &spmdUnit{node: node, body: body}
+		var ft *ast.FuncType
+		switch d := node.(type) {
+		case *ast.FuncDecl:
+			ft = d.Type
+		case *ast.FuncLit:
+			ft = d.Type
+		}
+		if ft != nil && ft.Params != nil {
+			for _, field := range ft.Params.List {
+				for _, id := range field.Names {
+					u.params = append(u.params, a.pkg.Info.Defs[id])
+				}
+			}
+		}
+		a.units[node] = u
+	}
+}
+
+// isRankType reports whether t is par.Rank or *par.Rank.
+func (a *spmdAnalysis) isRankType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Rank" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == a.parPath
+}
+
+// markRoots marks rank bodies (arguments of Comm.Run/RunCounted) and
+// functions with a par.Rank parameter or receiver as SPMD roots. It
+// reports whether any root exists.
+func (a *spmdAnalysis) markRoots() bool {
+	// Functions and methods operating on a Rank.
+	for node, u := range a.units {
+		var ft *ast.FuncType
+		var recv *ast.FieldList
+		switch d := node.(type) {
+		case *ast.FuncDecl:
+			ft, recv = d.Type, d.Recv
+		case *ast.FuncLit:
+			ft = d.Type
+		}
+		if recv != nil && len(recv.List) == 1 {
+			if a.isRankType(a.pkg.Info.Types[recv.List[0].Type].Type) {
+				u.isRoot = true
+			}
+		}
+		if ft != nil && ft.Params != nil {
+			for _, field := range ft.Params.List {
+				if a.isRankType(a.pkg.Info.Types[field.Type].Type) {
+					u.isRoot = true
+				}
+			}
+		}
+	}
+	// Rank bodies: fn arguments of Comm.Run / Comm.RunCounted.
+	for _, f := range a.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := resolvedCallee(a.pkg, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != a.parPath {
+				return true
+			}
+			if fn.Name() != "Run" && fn.Name() != "RunCounted" {
+				return true
+			}
+			switch arg := ast.Unparen(call.Args[0]).(type) {
+			case *ast.FuncLit:
+				if u := a.units[arg]; u != nil {
+					u.isRoot = true
+				}
+			case *ast.Ident:
+				if obj := a.pkg.Info.Uses[arg]; obj != nil {
+					if node, ok := a.objToUnit[obj]; ok {
+						a.units[node].isRoot = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, u := range a.units {
+		if u.isRoot {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeUnit resolves a call to a same-package unit, or nil.
+func (a *spmdAnalysis) calleeUnit(call *ast.CallExpr) *spmdUnit {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return a.units[lit]
+	}
+	obj := calleeObject(a.pkg, call)
+	if obj == nil {
+		return nil
+	}
+	if node, ok := a.objToUnit[obj]; ok {
+		return a.units[node]
+	}
+	return nil
+}
+
+// isRankID reports whether the call is Rank.ID() on the par Rank type.
+func (a *spmdAnalysis) isRankID(call *ast.CallExpr) bool {
+	fn := resolvedCallee(a.pkg, call)
+	if fn == nil || fn.Name() != "ID" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && a.isRankType(sig.Recv().Type())
+}
+
+// isCollectiveCall reports whether the call is a par collective, returning
+// its name. The reducer method "all" only counts inside par itself.
+func (a *spmdAnalysis) isCollectiveCall(call *ast.CallExpr) (string, bool) {
+	fn := resolvedCallee(a.pkg, call)
+	if fn == nil || !collectiveNames[fn.Name()] {
+		return "", false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != a.parPath {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// exprTainted reports whether the expression is rank-dependent: it
+// mentions a tainted variable, calls Rank.ID, or (inside par) reads the
+// Rank.id field. Collective call subtrees are skipped — their results are
+// uniform across ranks by construction.
+func (a *spmdAnalysis) exprTainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	tainted := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if a.isRankID(x) {
+				tainted = true
+				return false
+			}
+			if _, ok := a.isCollectiveCall(x); ok {
+				return false // uniform result: args may differ per rank
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "id" && a.isRankType(a.pkg.Info.Types[x.X].Type) {
+				tainted = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := a.pkg.Info.Uses[x]; obj != nil && a.tainted[obj] {
+				tainted = true
+				return false
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// markObj adds an object to the taint set.
+func (a *spmdAnalysis) markObj(obj types.Object) {
+	if obj != nil && !a.tainted[obj] {
+		a.tainted[obj] = true
+		a.changed = true
+	}
+}
+
+// markExpr taints the object behind a plain identifier target.
+func (a *spmdAnalysis) markExpr(e ast.Expr) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := a.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = a.pkg.Info.Uses[id]
+	}
+	a.markObj(obj)
+}
+
+// propagateTaint runs the package-wide taint fixpoint over assignments,
+// range bindings, value specs and same-package call arguments. Writes
+// through indices or fields do not taint the container — conditions in
+// SPMD code branch on scalar locals, and the coarser model would drown
+// the rule in false positives.
+func (a *spmdAnalysis) propagateTaint() {
+	for {
+		a.changed = false
+		for _, f := range a.pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					anyTainted := false
+					for _, r := range x.Rhs {
+						if a.exprTainted(r) {
+							anyTainted = true
+							break
+						}
+					}
+					if anyTainted {
+						for _, l := range x.Lhs {
+							a.markExpr(l)
+						}
+					}
+				case *ast.RangeStmt:
+					if a.exprTainted(x.X) {
+						a.markExpr(x.Key)
+						a.markExpr(x.Value)
+					}
+				case *ast.ValueSpec:
+					anyTainted := false
+					for _, v := range x.Values {
+						if a.exprTainted(v) {
+							anyTainted = true
+							break
+						}
+					}
+					if anyTainted {
+						for _, id := range x.Names {
+							a.markObj(a.pkg.Info.Defs[id])
+						}
+					}
+				case *ast.CallExpr:
+					if u := a.calleeUnit(x); u != nil {
+						for i, arg := range x.Args {
+							if i >= len(u.params) {
+								break
+							}
+							if a.exprTainted(arg) {
+								a.markObj(u.params[i])
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		if !a.changed {
+			break
+		}
+	}
+}
+
+// propagateCollectives computes the transitive has-collective summary.
+func (a *spmdAnalysis) propagateCollectives() {
+	for {
+		changed := false
+		for _, u := range a.units {
+			if u.hasCollective {
+				continue
+			}
+			found := false
+			ast.Inspect(u.body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if lit, ok := n.(*ast.FuncLit); ok && lit != u.node {
+					return false // nested literals are their own units
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if _, ok := a.isCollectiveCall(call); ok {
+						found = true
+						return false
+					}
+					if cu := a.calleeUnit(call); cu != nil && cu.hasCollective {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				u.hasCollective = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// markReachable marks every unit reachable from the SPMD roots through
+// same-package calls and lexical nesting.
+func (a *spmdAnalysis) markReachable() {
+	var mark func(u *spmdUnit)
+	mark = func(u *spmdUnit) {
+		if u == nil || u.reachable {
+			return
+		}
+		u.reachable = true
+		ast.Inspect(u.body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				// A literal nested in reachable code is analyzed as its
+				// own unit (it is either invoked here or escapes to a
+				// caller that will invoke it with the same rank).
+				if x != u.node {
+					mark(a.units[x])
+					return false
+				}
+			case *ast.CallExpr:
+				mark(a.calleeUnit(x))
+			}
+			return true
+		})
+	}
+	for _, u := range a.units {
+		if u.isRoot {
+			mark(u)
+		}
+	}
+}
+
+// isCheckGuard reports the check.Enabled debug gate.
+func (a *spmdAnalysis) isCheckGuard(cond ast.Expr) bool {
+	return isEnabledGuard(a.pkg, cond, a.checkPath)
+}
+
+// walkList walks one statement list carrying the rank-dependence context;
+// a tainted branch that returns taints the remainder of the block.
+func (a *spmdAnalysis) walkList(list []ast.Stmt, ctx bool) {
+	cur := ctx
+	for _, s := range list {
+		a.walkStmt(s, cur)
+		if ifs, ok := s.(*ast.IfStmt); ok && !a.isCheckGuard(ifs.Cond) &&
+			a.exprTainted(ifs.Cond) && containsReturn(ifs) {
+			cur = true
+		}
+	}
+}
+
+// walkStmt dispatches on control flow, promoting the context under
+// rank-dependent branches and loops, and scans all other statements for
+// collective calls executed in the current context.
+func (a *spmdAnalysis) walkStmt(s ast.Stmt, ctx bool) {
+	switch x := s.(type) {
+	case nil:
+		return
+	case *ast.BlockStmt:
+		a.walkList(x.List, ctx)
+	case *ast.IfStmt:
+		a.walkStmt(x.Init, ctx)
+		a.walkExprNode(x.Cond, ctx)
+		c := ctx
+		if !a.isCheckGuard(x.Cond) && a.exprTainted(x.Cond) {
+			c = true
+		}
+		a.walkStmt(x.Body, c)
+		a.walkStmt(x.Else, c)
+	case *ast.ForStmt:
+		a.walkStmt(x.Init, ctx)
+		a.walkExprNode(x.Cond, ctx)
+		c := ctx || a.exprTainted(x.Cond) || a.taintedEscape(x.Body)
+		a.walkStmt(x.Post, c)
+		a.walkList(x.Body.List, c)
+	case *ast.RangeStmt:
+		a.walkExprNode(x.X, ctx)
+		c := ctx || a.exprTainted(x.X) || a.taintedEscape(x.Body)
+		a.walkList(x.Body.List, c)
+	case *ast.SwitchStmt:
+		a.walkStmt(x.Init, ctx)
+		a.walkExprNode(x.Tag, ctx)
+		base := ctx || (x.Tag != nil && a.exprTainted(x.Tag))
+		for _, cl := range x.Body.List {
+			cc, ok := cl.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			c := base
+			for _, e := range cc.List {
+				a.walkExprNode(e, ctx)
+				if a.exprTainted(e) {
+					c = true
+				}
+			}
+			a.walkList(cc.Body, c)
+		}
+	case *ast.TypeSwitchStmt:
+		a.walkStmt(x.Init, ctx)
+		a.walkStmt(x.Assign, ctx)
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				a.walkList(cc.Body, ctx)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				a.walkStmt(cc.Comm, ctx)
+				a.walkList(cc.Body, ctx)
+			}
+		}
+	case *ast.LabeledStmt:
+		a.walkStmt(x.Stmt, ctx)
+	default:
+		// Assignment, expression, return, defer, go, send, inc/dec and
+		// declaration statements contain no nested statements outside
+		// function literals: scan them directly for calls.
+		a.walkExprNode(s, ctx)
+	}
+}
+
+// walkExprNode scans a non-control node for collective calls and for
+// calls into collective-bearing units, reporting those executed under a
+// rank-dependent context. Immediately-invoked function literals run
+// inline with the current context; other literals are separate units.
+func (a *spmdAnalysis) walkExprNode(n ast.Node, ctx bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch x := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+				a.walkList(lit.Body.List, ctx)
+				for _, arg := range x.Args {
+					a.walkExprNode(arg, ctx)
+				}
+				return false
+			}
+			if ctx {
+				if name, ok := a.isCollectiveCall(x); ok {
+					a.report(x, "collective %s is reached under rank-dependent control flow; every rank must execute the same collective sequence", name)
+				} else if u := a.calleeUnit(x); u != nil && u.hasCollective {
+					a.report(x, "call to %s under rank-dependent control flow reaches a collective; every rank must execute the same collective sequence", u.name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintedEscape reports whether the loop body can break or continue under
+// a tainted branch — a rank-dependent trip count. Nested loops, switches
+// and selects are skipped: their break/continue bind inner targets (a
+// continue escaping through a nested switch is a known approximation).
+func (a *spmdAnalysis) taintedEscape(body *ast.BlockStmt) bool {
+	found := false
+	var scan func(s ast.Stmt, ctx bool)
+	scan = func(s ast.Stmt, ctx bool) {
+		if found || s == nil {
+			return
+		}
+		switch x := s.(type) {
+		case *ast.BranchStmt:
+			if ctx && (x.Tok == token.BREAK || x.Tok == token.CONTINUE) {
+				found = true
+			}
+		case *ast.IfStmt:
+			c := ctx || (!a.isCheckGuard(x.Cond) && a.exprTainted(x.Cond))
+			scan(x.Body, c)
+			scan(x.Else, c)
+		case *ast.BlockStmt:
+			for _, st := range x.List {
+				scan(st, ctx)
+			}
+		case *ast.LabeledStmt:
+			scan(x.Stmt, ctx)
+		}
+	}
+	scan(body, false)
+	return found
+}
+
+// containsReturn reports whether the if statement's branches contain a
+// return outside nested function literals.
+func containsReturn(ifs *ast.IfStmt) bool {
+	found := false
+	scan := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if found {
+				return false
+			}
+			switch c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	scan(ifs.Body)
+	scan(ifs.Else)
+	return found
+}
+
+// spmdIssuef adapts the analysis report callback to Issue construction.
+func spmdIssuef(pkg *Package, rule string, out *[]Issue) func(n ast.Node, format string, args ...interface{}) {
+	return func(n ast.Node, format string, args ...interface{}) {
+		*out = append(*out, Issue{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Rule:     rule,
+			Severity: Error,
+			Msg:      fmt.Sprintf(format, args...),
+		})
+	}
+}

@@ -1,0 +1,209 @@
+package lint
+
+import "testing"
+
+func TestCollectiveUniformityRankFunctions(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{fakeCheck, fakePar}, `package fixture
+
+import (
+	"fixture/par"
+	"prometheus/internal/check"
+)
+
+func ranked(r *par.Rank, parts [][]int) {
+	if r.ID() == 0 {
+		r.Barrier() // line 10: flagged (collective under a rank-dependent branch)
+	}
+	for i := 0; i < r.ID(); i++ {
+		r.Barrier() // line 13: flagged (rank-dependent trip count)
+	}
+	me := r.ID()
+	if me%2 == 0 {
+		helper(r) // line 17: flagged (call reaches a collective)
+	}
+	mine := parts[me]
+	for range mine {
+		r.Barrier() // line 21: flagged (range over rank-dependent data)
+	}
+	for {
+		n := localWork(me)
+		if r.AllReduceIntSum(n) == 0 {
+			break // uniform exit: reduction results agree on every rank
+		}
+		r.Barrier() // uniform loop body: fine
+	}
+	if check.Enabled {
+		r.Barrier() // debug guard: exempt
+	}
+	r.Barrier() // top level: fine
+	if me == 0 {
+		return
+	}
+	r.Barrier() // line 37: flagged (ranks that returned above are gone)
+}
+
+func helper(r *par.Rank) {
+	r.Barrier() // unconditional inside a rank function: fine
+}
+
+func localWork(me int) int { return me }
+`)
+	rule := CollectiveUniformity{ParPath: "fixture/par"}
+	got := Run([]*Package{pkg}, []Rule{rule})
+	if !sameLines(got, 10, 13, 17, 21, 37) {
+		t.Fatalf("collective-uniformity fired on lines %v, want [10 13 17 21 37]\n%v", lines(got), got)
+	}
+}
+
+func TestCollectiveUniformityRankBody(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{fakePar}, `package fixture
+
+import "fixture/par"
+
+func drive(n int, parts [][]float64) {
+	c := par.NewComm(n)
+	c.Run(func(r *par.Rank) {
+		if r.ID() > 0 {
+			r.AllReduceSum(1) // line 9: flagged (rank 0 skips the reduction)
+		}
+		sum := 0.0
+		for _, v := range parts[r.ID()] {
+			sum += v // local work over the rank's own slice: fine
+		}
+		total := r.AllReduceSum(sum) // unconditional: fine
+		_ = total
+	})
+}
+`)
+	rule := CollectiveUniformity{ParPath: "fixture/par"}
+	got := Run([]*Package{pkg}, []Rule{rule})
+	if !sameLines(got, 9) {
+		t.Fatalf("collective-uniformity fired on lines %v, want [9]\n%v", lines(got), got)
+	}
+}
+
+func TestSendRecvMatch(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{fakePar}, `package fixture
+
+import "fixture/par"
+
+const (
+	okTag    = 1
+	lostTag  = 2
+	ghostTag = 3
+	typoTag  = 4
+	wildTag  = 5
+)
+
+func exchange(r *par.Rank, nbrs []int) {
+	for _, to := range nbrs {
+		r.Send(to, okTag, &nbrs, 8) // matched pair: fine
+	}
+	got := par.RecvAs[*[]int](r, 0, okTag)
+	_ = got
+	r.Send(0, lostTag, &nbrs, 8)         // line 19: flagged (sent, never received)
+	v := par.RecvAs[int](r, 0, ghostTag) // line 20: flagged (received, never sent)
+	_ = v
+	r.Send(1, typoTag, 3.5, 8)          // line 22: flagged (no receive takes float64)
+	w := par.RecvAs[int](r, 0, typoTag) // line 23: flagged (received as int, sent as float64)
+	_ = w
+	r.Send(r.ID(), okTag, &nbrs, 8) // line 25: flagged (self-send)
+	me := r.ID()
+	r.Send(me, okTag, &nbrs, 8) // line 27: flagged (self-send through a variable)
+	r.Send(2, wildTag, 1, 8)
+	_ = r.Recv(0, wildTag) // untyped wildcard consumes anything: fine
+}
+`)
+	rule := SendRecvMatch{ParPath: "fixture/par"}
+	got := Run([]*Package{pkg}, []Rule{rule})
+	if !sameLines(got, 19, 20, 22, 23, 25, 27) {
+		t.Fatalf("sendrecv-match fired on lines %v, want [19 20 22 23 25 27]\n%v", lines(got), got)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+func flatten(sets map[int]bool, out []int) {
+	k := 0
+	for v := range sets {
+		out[k] = v // line 6: flagged (map order leaks into the output slice)
+		k++
+	}
+}
+
+func gather(m map[string]int) []string {
+	keys := []string{}
+	for k := range m {
+		keys = append(keys, k) // line 14: flagged (nondeterministic element order)
+	}
+	return keys
+}
+
+func fold(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v // order-insensitive accumulator: fine
+	}
+	return s
+}
+
+func invert(m map[string]int) map[int]string {
+	inv := make(map[int]string)
+	for k, v := range m {
+		inv[v] = k // map writes commute: fine
+	}
+	return inv
+}
+
+func local(m map[string]int) {
+	for k := range m {
+		buf := make([]byte, 0, 8)
+		buf = append(buf, k...) // buffer scoped to the body: fine
+		_ = buf
+	}
+}
+
+func sorted(m map[string]int, keys []string, out []int) {
+	for i, k := range keys {
+		out[i] = m[k] // range over the sorted key slice: fine
+	}
+}
+`)
+	rule := MapOrder{Packages: []string{"fixture"}}
+	got := Run([]*Package{pkg}, []Rule{rule})
+	if !sameLines(got, 6, 14) {
+		t.Fatalf("map-order fired on lines %v, want [6 14]\n%v", lines(got), got)
+	}
+
+	// Outside the protected package set the rule is silent.
+	cold := MapOrder{Packages: []string{"elsewhere"}}
+	if got := Run([]*Package{pkg}, []Rule{cold}); len(got) != 0 {
+		t.Fatalf("map-order must not fire outside its package set, got %v", got)
+	}
+}
+
+func TestHotLoopAllocDeprecatedAllGather(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{fakePar}, `package fixture
+
+import "fixture/par"
+
+func gatherIDs(r *par.Rank) {
+	vs := r.AllGather(r.ID()) // line 6: flagged even outside the kernel set
+	_ = vs
+	ws := par.AllGatherAs(r, r.ID()) // typed replacement: fine
+	_ = ws
+}
+`)
+	rule := HotLoopAlloc{Kernels: []string{"elsewhere"}, ParPath: "fixture/par"}
+	got := Run([]*Package{pkg}, []Rule{rule})
+	if !sameLines(got, 6) {
+		t.Fatalf("hotloop-alloc deprecated AllGather fired on lines %v, want [6]\n%v", lines(got), got)
+	}
+
+	// The par package itself keeps the deprecated wrapper for migration.
+	exempt := HotLoopAlloc{Kernels: []string{"elsewhere"}, ParPath: "fixture"}
+	if got := Run([]*Package{pkg}, []Rule{exempt}); len(got) != 0 {
+		t.Fatalf("deprecated-AllGather check must skip the par package itself, got %v", got)
+	}
+}

@@ -13,12 +13,66 @@ package par
 import (
 	"fmt"
 	"sync"
+
+	"prometheus/internal/check"
 )
 
 // message is one point-to-point payload.
 type message struct {
 	tag  int
 	data interface{}
+}
+
+// eventKind classifies one protocol event for the promdebug tracer. The
+// kinds double as the alphabet of the per-rank collective sequences that
+// the deadlock watchdog dumps — the runtime counterpart of the static
+// collective-uniformity rule, which proves every rank executes the same
+// kind sequence.
+type eventKind uint8
+
+const (
+	evNone eventKind = iota
+	evSend
+	evRecv
+	evBarrier
+	evAllReduceSum
+	evAllReduceIntSum
+	evAllReduceMax
+	evAllReduce
+	evAllGather
+)
+
+// String returns the event name used in watchdog dumps and traces.
+func (k eventKind) String() string {
+	switch k {
+	case evSend:
+		return "send"
+	case evRecv:
+		return "recv"
+	case evBarrier:
+		return "barrier"
+	case evAllReduceSum:
+		return "allreduce-sum"
+	case evAllReduceIntSum:
+		return "allreduce-intsum"
+	case evAllReduceMax:
+		return "allreduce-max"
+	case evAllReduce:
+		return "allreduce"
+	case evAllGather:
+		return "allgather"
+	}
+	return "idle"
+}
+
+// isCollective reports whether the event is a collective operation (one
+// that every rank must execute uniformly).
+func (k eventKind) isCollective() bool {
+	switch k {
+	case evBarrier, evAllReduceSum, evAllReduceIntSum, evAllReduceMax, evAllReduce, evAllGather:
+		return true
+	}
+	return false
 }
 
 // Comm is a communicator over a fixed number of ranks.
@@ -44,6 +98,12 @@ type Comm struct {
 	redSum    *reducer[float64]
 	redMax    *reducer[float64]
 	redIntSum *reducer[int]
+
+	// trace is the promdebug protocol tracer and deadlock watchdog
+	// (trace.go); in release builds it is an empty struct with no-op
+	// methods, and every call site sits under if check.Enabled so the
+	// hooks vanish entirely.
+	trace tracer
 }
 
 // reducer is an allocation-free all-reduce over one value type and one
@@ -133,6 +193,7 @@ func NewComm(p int) *Comm {
 	c.redSum = newReducer(p, addFloat64)
 	c.redMax = newReducer(p, maxFloat64)
 	c.redIntSum = newReducer(p, addInt)
+	c.trace.init(p)
 	return c
 }
 
@@ -148,6 +209,7 @@ func (c *Comm) Run(fn func(r *Rank)) {
 	for id := 0; id < c.size; id++ {
 		ranks[id] = &Rank{comm: c, id: id, pending: make([][]message, c.size)}
 	}
+	c.trace.runStart(c)
 	for id := 0; id < c.size; id++ {
 		wg.Add(1)
 		go func(id int) {
@@ -161,6 +223,7 @@ func (c *Comm) Run(fn func(r *Rank)) {
 		}(id)
 	}
 	wg.Wait()
+	c.trace.runEnd()
 	for id, p := range panics {
 		if p != nil {
 			panic(fmt.Sprintf("par: rank %d panicked: %v", id, p))
@@ -192,6 +255,9 @@ func (r *Rank) CountFlops(n int64) { r.Flops += n }
 // Send delivers data to rank "to" with the given tag. Sends are buffered
 // and non-blocking up to a large channel capacity.
 func (r *Rank) Send(to, tag int, data interface{}, bytes int) {
+	if check.Enabled {
+		r.comm.trace.event(r.id, evSend, to, tag)
+	}
 	if to == r.id {
 		r.pending[r.id] = append(r.pending[r.id], message{tag: tag, data: data})
 		return
@@ -218,16 +284,25 @@ func RecvAs[T any](r *Rank, from, tag int) T {
 // and returns its payload. Messages with other tags from the same source
 // are queued.
 func (r *Rank) Recv(from, tag int) interface{} {
+	if check.Enabled {
+		r.comm.trace.block(r.id, evRecv, from, tag)
+	}
 	q := r.pending[from]
 	for i, m := range q {
 		if m.tag == tag {
 			r.pending[from] = append(q[:i], q[i+1:]...)
+			if check.Enabled {
+				r.comm.trace.event(r.id, evRecv, from, tag)
+			}
 			return m.data
 		}
 	}
 	for {
 		m := <-r.comm.chans[from][r.id]
 		if m.tag == tag {
+			if check.Enabled {
+				r.comm.trace.event(r.id, evRecv, from, tag)
+			}
 			return m.data
 		}
 		r.pending[from] = append(r.pending[from], m)
@@ -236,6 +311,10 @@ func (r *Rank) Recv(from, tag int) interface{} {
 
 // Barrier blocks until every rank has reached it.
 func (r *Rank) Barrier() {
+	if check.Enabled {
+		r.comm.trace.block(r.id, evBarrier, -1, -1)
+		defer r.comm.trace.event(r.id, evBarrier, -1, -1)
+	}
 	c := r.comm
 	c.barrierMu.Lock()
 	gen := c.barrierGen
@@ -289,6 +368,17 @@ func (r *Rank) allReduce(v interface{}, combine func(acc, v interface{}) interfa
 // the typed combine keeps the collective hot paths free of naked
 // interface assertions.
 func AllReduce[T any](r *Rank, v T, combine func(a, b T) T) T {
+	if check.Enabled {
+		r.comm.trace.block(r.id, evAllReduce, -1, -1)
+		defer r.comm.trace.event(r.id, evAllReduce, -1, -1)
+	}
+	return allReduceT(r, v, combine)
+}
+
+// allReduceT is AllReduce without the protocol-trace hook, so collectives
+// built on top of it (AllGatherAs) record a single event of their own kind
+// rather than a nested allreduce.
+func allReduceT[T any](r *Rank, v T, combine func(a, b T) T) T {
 	raw := r.allReduce(v, func(a, b interface{}) interface{} {
 		av, aok := a.(T)
 		bv, bok := b.(T)
@@ -307,35 +397,74 @@ func AllReduce[T any](r *Rank, v T, combine func(a, b T) T) T {
 // AllReduceSum returns the sum of v over all ranks. It is the
 // per-iteration collective (global dot products), so it runs on a typed
 // reducer: no boxing, no per-round allocation.
-func (r *Rank) AllReduceSum(v float64) float64 { return r.comm.redSum.all(v) }
+func (r *Rank) AllReduceSum(v float64) float64 {
+	if check.Enabled {
+		r.comm.trace.block(r.id, evAllReduceSum, -1, -1)
+		defer r.comm.trace.event(r.id, evAllReduceSum, -1, -1)
+	}
+	return r.comm.redSum.all(v)
+}
 
 // AllReduceIntSum returns the integer sum of v over all ranks on the
 // allocation-free typed path.
-func (r *Rank) AllReduceIntSum(v int) int { return r.comm.redIntSum.all(v) }
+func (r *Rank) AllReduceIntSum(v int) int {
+	if check.Enabled {
+		r.comm.trace.block(r.id, evAllReduceIntSum, -1, -1)
+		defer r.comm.trace.event(r.id, evAllReduceIntSum, -1, -1)
+	}
+	return r.comm.redIntSum.all(v)
+}
 
 // AllReduceMax returns the maximum of v over all ranks on the
 // allocation-free typed path.
-func (r *Rank) AllReduceMax(v float64) float64 { return r.comm.redMax.all(v) }
-
-// AllGather collects one value from each rank into a slice indexed by rank.
-// Every rank receives the same slice contents.
-func (r *Rank) AllGather(v interface{}) []interface{} {
-	type tagged struct {
-		id int
-		v  interface{}
+func (r *Rank) AllReduceMax(v float64) float64 {
+	if check.Enabled {
+		r.comm.trace.block(r.id, evAllReduceMax, -1, -1)
+		defer r.comm.trace.event(r.id, evAllReduceMax, -1, -1)
 	}
-	res := AllReduce(r, []tagged{{r.id, v}}, func(a, b []tagged) []tagged {
+	return r.comm.redMax.all(v)
+}
+
+// gathered carries one rank's contribution through the gather reduction.
+// It is declared at package level because Go does not allow type
+// declarations that reference a function's type parameters inside the
+// function body.
+type gathered[T any] struct {
+	id int
+	v  T
+}
+
+// AllGatherAs collects one value of type T from each rank into a slice
+// indexed by rank; every rank receives equal contents. It is the typed
+// replacement for the interface{}-returning AllGather: no boxing on the
+// contribution path and no per-element type assertions at the call site.
+func AllGatherAs[T any](r *Rank, v T) []T {
+	if check.Enabled {
+		r.comm.trace.block(r.id, evAllGather, -1, -1)
+		defer r.comm.trace.event(r.id, evAllGather, -1, -1)
+	}
+	res := allReduceT(r, []gathered[T]{{r.id, v}}, func(a, b []gathered[T]) []gathered[T] {
 		// Copy before appending: contributions are shared across ranks, so
 		// the combine must never mutate its operands' backing arrays.
-		merged := make([]tagged, 0, len(a)+len(b))
+		merged := make([]gathered[T], 0, len(a)+len(b))
 		merged = append(merged, a...)
 		return append(merged, b...)
 	})
-	out := make([]interface{}, r.comm.size)
+	out := make([]T, r.comm.size)
 	for _, t := range res {
 		out[t.id] = t.v
 	}
 	return out
+}
+
+// AllGather collects one value from each rank into a slice indexed by rank.
+// Every rank receives the same slice contents.
+//
+// Deprecated: AllGather boxes every element and forces naked type
+// assertions at each call site; use AllGatherAs instead. The hotloop-alloc
+// lint flags callers outside this package.
+func (r *Rank) AllGather(v interface{}) []interface{} {
+	return AllGatherAs[interface{}](r, v)
 }
 
 // Counters holds the per-rank instrumentation gathered by RunCounted.

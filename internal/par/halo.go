@@ -28,8 +28,10 @@ type Halo struct {
 	credits []map[int]chan *[]float64
 }
 
-// haloTag is the message tag of ghost-value exchanges.
-const haloTag = 2
+// haloTag is the message tag of ghost-value exchanges. Tags are unique
+// across the package (see pmis.go) so each tag names exactly one payload
+// type — the invariant the sendrecv-match lint checks.
+const haloTag = 3
 
 // NewHalo builds the halo pattern for matrix a with the given row/column
 // ownership (square matrices: rows and columns share the partition).

@@ -62,9 +62,23 @@ func TestSelfSend(t *testing.T) {
 func TestAllGather(t *testing.T) {
 	c := NewComm(5)
 	c.Run(func(r *Rank) {
-		vals := r.AllGather(r.ID() * 10)
+		vals := AllGatherAs(r, r.ID()*10)
 		for i, v := range vals {
 			if v != i*10 {
+				t.Errorf("gather[%d] = %v", i, v)
+			}
+		}
+	})
+}
+
+func TestAllGatherDeprecatedBoxing(t *testing.T) {
+	// The deprecated interface{} wrapper must stay behaviourally identical
+	// to AllGatherAs while it remains in the API.
+	c := NewComm(3)
+	c.Run(func(r *Rank) {
+		vals := r.AllGather(r.ID() + 1)
+		for i, v := range vals {
+			if v != i+1 {
 				t.Errorf("gather[%d] = %v", i, v)
 			}
 		}

@@ -56,10 +56,9 @@ func TestCommStress(t *testing.T) {
 			}
 
 			if it%3 == 0 {
-				vals := r.AllGather(me * 2)
+				vals := AllGatherAs(r, me*2)
 				for i, v := range vals {
-					iv, ok := v.(int)
-					if !ok || iv != i*2 {
+					if v != i*2 {
 						t.Errorf("iter %d rank %d: gather[%d] = %v", it, me, i, v)
 					}
 				}

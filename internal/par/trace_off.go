@@ -1,0 +1,15 @@
+//go:build !promdebug
+
+package par
+
+// tracer is the release-build stand-in for the promdebug protocol tracer
+// (trace.go): an empty struct whose methods compile to nothing. The
+// per-event hooks additionally sit under if check.Enabled, so in release
+// builds the compiler removes them entirely.
+type tracer struct{}
+
+func (*tracer) init(p int)                                 {}
+func (*tracer) runStart(c *Comm)                           {}
+func (*tracer) runEnd()                                    {}
+func (*tracer) event(rank int, k eventKind, peer, tag int) {}
+func (*tracer) block(rank int, k eventKind, peer, tag int) {}

@@ -1,0 +1,135 @@
+//go:build promdebug
+
+package par
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// watchdogDump arms the watchdog with a short stall and a capturing hook,
+// launches the (deliberately deadlocking) rank body on its own goroutine,
+// and returns the diagnostic dump. The Run goroutine stays blocked in the
+// broken protocol for the life of the test binary — exactly the hang the
+// watchdog exists to diagnose — so it is never joined.
+func watchdogDump(t *testing.T, p int, body func(r *Rank)) string {
+	t.Helper()
+	SetWatchdogStall(50 * time.Millisecond)
+	t.Cleanup(func() { SetWatchdogStall(0) })
+	fired := make(chan string, 1)
+	SetWatchdogHook(func(dump string) { fired <- dump })
+	t.Cleanup(func() { SetWatchdogHook(nil) })
+
+	c := NewComm(p)
+	go c.Run(body)
+	select {
+	case dump := <-fired:
+		return dump
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog did not fire on a deadlocked protocol")
+		return ""
+	}
+}
+
+// TestWatchdogMismatchedRecv deadlocks a rank on a receive whose tag is
+// never sent — the runtime shape of a sendrecv-match violation — and
+// asserts the dump names the blocked operation instead of hanging.
+func TestWatchdogMismatchedRecv(t *testing.T) {
+	dump := watchdogDump(t, 2, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Recv(1, 99)
+		}
+	})
+	if !strings.Contains(dump, "deadlock watchdog fired") {
+		t.Fatalf("dump missing header:\n%s", dump)
+	}
+	if !strings.Contains(dump, "rank 0: blocked on recv(peer=1, tag=99)") {
+		t.Fatalf("dump does not name the blocked receive:\n%s", dump)
+	}
+}
+
+// TestWatchdogDivergentCollective deadlocks via a rank-dependent barrier —
+// the runtime shape of a collective-uniformity violation — and asserts the
+// dump shows the divergent rank states.
+func TestWatchdogDivergentCollective(t *testing.T) {
+	dump := watchdogDump(t, 2, func(r *Rank) {
+		r.AllReduceIntSum(1) // both ranks: completes
+		if r.ID() == 0 {
+			r.Barrier() // rank 1 never joins
+		}
+	})
+	if !strings.Contains(dump, "rank 0: blocked on barrier") {
+		t.Fatalf("dump does not show rank 0 stuck in the barrier:\n%s", dump)
+	}
+	if !strings.Contains(dump, "collective tail: allreduce-intsum") {
+		t.Fatalf("dump does not show the collective history:\n%s", dump)
+	}
+}
+
+// TestWatchdogDumpFile checks the CI artifact path: with
+// PROMETHEUS_WATCHDOG_DUMP set, the dump is also written to that file.
+func TestWatchdogDumpFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "watchdog.txt")
+	t.Setenv("PROMETHEUS_WATCHDOG_DUMP", path)
+	watchdogDump(t, 2, func(r *Rank) {
+		if r.ID() == 1 {
+			r.Recv(0, 42)
+		}
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("watchdog dump file not written: %v", err)
+	}
+	if !strings.Contains(string(data), "rank 1: blocked on recv(peer=0, tag=42)") {
+		t.Fatalf("dump file content wrong:\n%s", data)
+	}
+}
+
+// TestCollectiveTraceUniform is the runtime uniform-sequence oracle: after
+// a correct run every rank reports the identical collective sequence, in
+// order.
+func TestCollectiveTraceUniform(t *testing.T) {
+	c := NewComm(4)
+	c.Run(func(r *Rank) {
+		r.Barrier()
+		r.AllReduceIntSum(r.ID())
+		AllGatherAs(r, r.ID())
+		r.AllReduceSum(float64(r.ID()))
+		r.AllReduceMax(float64(r.ID()))
+	})
+	want := []string{"barrier", "allreduce-intsum", "allgather", "allreduce-sum", "allreduce-max"}
+	for rank := 0; rank < 4; rank++ {
+		got := c.CollectiveTrace(rank)
+		if len(got) != len(want) {
+			t.Fatalf("rank %d trace %v, want %v", rank, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rank %d trace %v, want %v", rank, got, want)
+			}
+		}
+	}
+}
+
+// TestWatchdogStallSetting checks the knob precedence: SetWatchdogStall
+// beats the PROMETHEUS_WATCHDOG_STALL environment variable, which beats
+// the default.
+func TestWatchdogStallSetting(t *testing.T) {
+	t.Setenv("PROMETHEUS_WATCHDOG_STALL", "45ms")
+	if c := NewComm(1); c.trace.stall != 45*time.Millisecond {
+		t.Fatalf("env stall not honoured: %v", c.trace.stall)
+	}
+	SetWatchdogStall(2 * time.Second)
+	defer SetWatchdogStall(0)
+	if c := NewComm(1); c.trace.stall != 2*time.Second {
+		t.Fatalf("SetWatchdogStall must beat the env: %v", c.trace.stall)
+	}
+	SetWatchdogStall(0)
+	t.Setenv("PROMETHEUS_WATCHDOG_STALL", "")
+	if c := NewComm(1); c.trace.stall != defaultStall {
+		t.Fatalf("default stall not restored: %v", c.trace.stall)
+	}
+}

@@ -1,0 +1,41 @@
+// Package sortutil holds the sanctioned fix for map-iteration
+// nondeterminism: Go randomizes map range order per loop, so any map
+// iteration whose body writes into an output slice or matrix makes the
+// result irreproducible run to run. The promlint map-order rule flags
+// such loops in the deterministic packages (core, graph, topo,
+// delaunay); rewriting them as
+//
+//	for _, k := range sortutil.Keys(m) {
+//	    v := m[k]
+//	    ...
+//	}
+//
+// restores a fixed traversal order and therefore bitwise-reproducible
+// coarse grids and iteration counts.
+package sortutil
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns the keys of m in ascending order.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// KeysInto appends m's keys to buf[:0] in ascending order and returns
+// the slice, so callers on repeated paths can reuse one buffer.
+func KeysInto[M ~map[K]V, K cmp.Ordered, V any](buf []K, m M) []K {
+	out := buf[:0]
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}

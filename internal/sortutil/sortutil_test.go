@@ -1,0 +1,39 @@
+package sortutil
+
+import (
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	m := map[int]string{5: "e", 1: "a", 3: "c"}
+	got := Keys(m)
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Keys returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys returned %v, want %v", got, want)
+		}
+	}
+	if out := Keys(map[string]int{}); len(out) != 0 {
+		t.Fatalf("Keys of empty map returned %v", out)
+	}
+}
+
+func TestKeysInto(t *testing.T) {
+	m := map[int]bool{9: true, 2: true, 7: true}
+	buf := make([]int, 0, 8)
+	got := KeysInto(buf, m)
+	want := []int{2, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KeysInto returned %v, want %v", got, want)
+		}
+	}
+	// The buffer is reused when capacity suffices.
+	got2 := KeysInto(got, m)
+	if &got2[0] != &got[0] {
+		t.Fatalf("KeysInto did not reuse the buffer")
+	}
+}

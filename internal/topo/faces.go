@@ -6,11 +6,11 @@
 package topo
 
 import (
-	"sort"
 	"strconv"
 
 	"prometheus/internal/graph"
 	"prometheus/internal/mesh"
+	"prometheus/internal/sortutil"
 )
 
 // Vertex ranks of section 4.4. Higher ranks are coarsened first and cannot
@@ -94,11 +94,7 @@ func Classify(nVerts int, facets []mesh.Facet, faceID []int) *Classification {
 			c.Rank[v] = RankInterior
 			continue
 		}
-		ids := make([]int, 0, len(sets[v]))
-		for id := range sets[v] {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
+		ids := sortutil.Keys(sets[v])
 		c.Faces[v] = ids
 		switch len(ids) {
 		case 1:
