@@ -294,8 +294,8 @@ func BenchmarkAblationSmoother(b *testing.B) {
 		name string
 		kind multigrid.SmootherKind
 	}{
-		{"BlockJacobiCG", multigrid.BlockJacobiCG},
-		{"BlockJacobi", multigrid.BlockJacobi},
+		{"BlockJacobiCG", multigrid.DomainBlockJacobiCG},
+		{"BlockJacobi", multigrid.DomainBlockJacobi},
 		{"Chebyshev", multigrid.Chebyshev},
 	} {
 		b.Run(sc.name, func(b *testing.B) {

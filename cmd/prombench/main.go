@@ -9,8 +9,11 @@
 //	prombench [-exp name] [-full] [-csv path]
 //
 // Experiments: table1, table2, fig7, fig9, fig10, fig11, fig12, fig13,
-// thinbody, ordering, parmis, amg, phases, headline, ablations, all.
+// thinbody, ordering, parmis, amg, phases, headline, ablations,
+// blockbench, all.
 // -csv additionally writes the scaled series as CSV for plotting.
+// -json writes the blockbench CSR-vs-BSR kernel study (ns/op, MB/s,
+// allocs/op; schema in EXPERIMENTS.md) to the given path.
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (see package doc)")
 	full := flag.Bool("full", false, "run the larger series and full load schedule")
 	csvPath := flag.String("csv", "", "also write the scaled series as CSV to this path")
+	jsonPath := flag.String("json", "", "write the blockbench kernel study as JSON to this path")
 	flag.Parse()
 
 	maxK := 2
@@ -39,6 +43,7 @@ func main() {
 
 	w := os.Stdout
 	var runs []*experiments.LinearRun
+	var blockRep *experiments.BlockBenchReport
 	needSeries := func() error {
 		if runs != nil {
 			return nil
@@ -93,6 +98,14 @@ func main() {
 				return err
 			}
 			return experiments.Headline(w, runs)
+		case "blockbench":
+			rep, err := experiments.BlockBench()
+			if err != nil {
+				return err
+			}
+			blockRep = rep
+			experiments.BlockBenchTable(w, rep)
+			return nil
 		case "ablations":
 			if err := experiments.AblationTOL(w); err != nil {
 				return err
@@ -119,7 +132,10 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table1", "fig9", "fig7", "table2", "fig10", "fig11",
-			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations"}
+			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench"}
+	}
+	if *jsonPath != "" && *exp != "blockbench" && *exp != "all" {
+		names = append(names, "blockbench")
 	}
 	for i, name := range names {
 		if i > 0 {
@@ -149,5 +165,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "\nwrote %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prombench: json: %v\n", err)
+			os.Exit(1)
+		}
+		err = experiments.WriteBlockBenchJSON(f, blockRep)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prombench: json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", *jsonPath)
 	}
 }

@@ -12,12 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 
 	"prometheus/internal/fem"
 	"prometheus/internal/graph"
 	"prometheus/internal/material"
 	"prometheus/internal/mesh"
 	"prometheus/internal/par"
+	"prometheus/internal/sparse"
 	"prometheus/internal/topo"
 )
 
@@ -95,6 +97,40 @@ func main() {
 			r, counters.Flops[r], counters.BytesSent[r], counters.MsgsSent[r], halo.GhostCount(r))
 	}
 	fmt.Printf("load balance (flops): %.2f\n", loadBalance(counters.Flops))
+
+	// --- The same product through the node-granular blocked halo: the
+	// tangent re-blocked to 3x3-node BSR (the PETSc BAIJ analogue), ghosts
+	// exchanged one node index + three values at a time. The result is
+	// bitwise identical; the index traffic drops by 3x.
+	kb, err := sparse.FromCSR(k, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bhalo := par.NewBlockHalo(kb, owner, *ranks)
+	yb := make([]float64, m.NumDOF())
+	bcounters := comm.RunCounted(func(r *par.Rank) {
+		xl := make([]float64, len(x))
+		for v := 0; v < m.NumVerts(); v++ {
+			if owner[v] == r.ID() {
+				copy(xl[3*v:3*v+3], x[3*v:3*v+3])
+			}
+		}
+		bhalo.MulVecBSR(r, kb, xl, yb)
+	})
+	bitwise := true
+	for i := range want {
+		if math.Float64bits(yb[i]) != math.Float64bits(want[i]) {
+			bitwise = false
+			break
+		}
+	}
+	var msgs, bmsgs int64
+	for r := 0; r < *ranks; r++ {
+		msgs += counters.MsgsSent[r]
+		bmsgs += bcounters.MsgsSent[r]
+	}
+	fmt.Printf("\nblocked SpMV (BSR + node-granular halo): bitwise identical to serial = %v\n", bitwise)
+	fmt.Printf("halo messages: scalar %d, blocked %d; ghost volume unchanged, index traffic /3\n", msgs, bmsgs)
 }
 
 func loadBalance(w []int64) float64 {

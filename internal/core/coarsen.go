@@ -235,10 +235,12 @@ func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 	}
 
 	// Restriction: for every parent vertex, interpolation weights on the
-	// coarse vertices.
+	// coarse vertices. Built node-granularly (one scalar weight per node
+	// pair) and expanded to dof form with w·I₃ blocks at the end — the
+	// weights never couple displacement components (section 3).
 	nf := m.NumVerts()
 	nc := len(mis)
-	rb := sparse.NewBuilder(3*nc, 3*nf)
+	rb := sparse.NewBuilder(nc, nf)
 	lost := 0
 	keptSet := make(map[[4]int]bool, len(tets))
 	// Incidence of coarse vertices on kept tets, for the graph-local
@@ -310,9 +312,7 @@ func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 	}
 	for v := 0; v < nf; v++ {
 		if j, isCoarse := coarseOf[v]; isCoarse {
-			for c := 0; c < 3; c++ {
-				rb.Add(3*j+c, 3*v+c, 1)
-			}
+			rb.Add(j, v, 1)
 			continue
 		}
 		verts, w, ok := tri.Interpolate(m.Coords[v])
@@ -344,9 +344,7 @@ func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 			if w[k] == 0 {
 				continue
 			}
-			for c := 0; c < 3; c++ {
-				rb.Add(3*verts[k]+c, 3*v+c, w[k])
-			}
+			rb.Add(verts[k], v, w[k])
 		}
 	}
 
@@ -404,7 +402,7 @@ func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 		Mesh:  cm,
 		Class: ncls,
 		Verts: mis,
-		R:     rb.Build(),
+		R:     sparse.ExpandBlocks(rb.Build(), 3),
 		Lost:  lost,
 	}, nil
 }

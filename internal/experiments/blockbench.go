@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"prometheus/internal/core"
+	"prometheus/internal/fem"
+	"prometheus/internal/multigrid"
+	"prometheus/internal/problems"
+	"prometheus/internal/smooth"
+	"prometheus/internal/sparse"
+)
+
+// BenchEntry is one measured kernel of the blocked-storage study. Bytes
+// per op counts the matrix data a kernel streams (values + column indices
+// + row pointers) plus one read of x and one write of y, so MB/s exposes
+// the index-traffic saving of BSR directly.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BlockBenchReport is the machine-readable result of the CSR-vs-BSR
+// kernel study (schema documented in EXPERIMENTS.md).
+type BlockBenchReport struct {
+	Problem string `json:"problem"`
+	Dof     int    `json:"dof"`
+	NNZ     int    `json:"nnz"`
+	// SpMVSpeedup is BSR SpMV throughput over CSR SpMV throughput on the
+	// fine operator (the acceptance metric of the blocked refactor).
+	SpMVSpeedup float64      `json:"spmv_bsr_over_csr"`
+	Entries     []BenchEntry `json:"benchmarks"`
+}
+
+// csrBytes is the data volume one CSR MulVec streams.
+func csrBytes(a *sparse.CSR) int64 {
+	return int64(8*a.NNZ() + 8*a.NNZ() + 8*(a.NRows+1) + 16*a.NRows)
+}
+
+// bsrBytes is the data volume one BSR MulVec streams: same values, one
+// column index per block instead of per entry.
+func bsrBytes(a *sparse.BSR) int64 {
+	return int64(8*a.NNZ() + 8*a.NNZBlocks() + 8*(a.NBRows+1) + 16*a.Rows())
+}
+
+// BlockBench builds the 3-dof spheres fine operator in both storages and
+// measures SpMV, smoother sweeps and the full multigrid V-cycle. All
+// pairs run on bitwise-identical matrices (BSR is the re-blocked CSR).
+func BlockBench() (*BlockBenchReport, error) {
+	cfg := problems.SpheresConfig{Layers: 5, ElemsPerLayer: 1, CoreElems: 2, OuterElems: 2}
+	s := problems.NewSpheresConfig(cfg)
+	p := fem.NewProblem(s.Mesh, s.Models, true)
+	u := make([]float64, s.Mesh.NumDOF())
+	s.Cons.Scaled(0.1).Apply(u)
+	k, fint, err := p.AssembleTangent(u)
+	if err != nil {
+		return nil, err
+	}
+	// The octant's symmetry planes constrain single components, which
+	// breaks node alignment; the kernel study clamps whole vertices
+	// instead — same operator size class, and the reduced matrix keeps
+	// its 3x3 node blocks intact so both storages bench the same system.
+	zero := fem.NewConstraints()
+	for d := range s.Cons.Fixed {
+		zero.FixVert(d/3, 0, 0, 0)
+	}
+	dm := zero.NewDofMap(s.Mesh.NumDOF())
+	r := make([]float64, len(fint))
+	for i := range r {
+		r[i] = -fint[i]
+	}
+	kred, rred := zero.Reduce(k, r, dm)
+	if !dm.NodeAligned(3) {
+		return nil, fmt.Errorf("experiments: spheres bench constraints are not node-aligned")
+	}
+	kb, err := sparse.FromCSR(kred, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &BlockBenchReport{
+		Problem: fmt.Sprintf("spheres L=%d k=%d", cfg.Layers, cfg.ElemsPerLayer),
+		Dof:     kred.NRows,
+		NNZ:     kred.NNZ(),
+	}
+	n := kred.NRows
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+
+	add := func(name string, bytes int64, fn func()) *BenchEntry {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(bytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		e := BenchEntry{
+			Name:        name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if res.NsPerOp() > 0 {
+			e.MBPerSec = float64(bytes) / float64(res.NsPerOp()) * 1e9 / 1e6
+		}
+		rep.Entries = append(rep.Entries, e)
+		return &rep.Entries[len(rep.Entries)-1]
+	}
+
+	// SpMV on the fine operator: the acceptance pair.
+	eCSR := add("spmv_csr_fine", csrBytes(kred), func() { kred.MulVec(x, y) })
+	eBSR := add("spmv_bsr_fine", bsrBytes(kb), func() { kb.MulVec(x, y) })
+	if eBSR.NsPerOp > 0 {
+		rep.SpMVSpeedup = eCSR.NsPerOp / eBSR.NsPerOp
+	}
+
+	// Smoother sweeps (one Smooth call = 1 sweep over the operator).
+	xs := make([]float64, n)
+	jacC := smooth.NewJacobi(kred, 2.0/3)
+	jacB := smooth.NewJacobi(kb, 2.0/3)
+	gsC := smooth.NewGaussSeidel(kred, 1, true)
+	gsB := smooth.NewGaussSeidel(kb, 1, true)
+	nbj := smooth.NewNodeBlockJacobi(kb, 2.0/3)
+	add("jacobi_csr_sweep", csrBytes(kred), func() { jacC.Smooth(xs, rred, 1) })
+	add("jacobi_bsr_sweep", bsrBytes(kb), func() { jacB.Smooth(xs, rred, 1) })
+	add("gauss_seidel_csr_sweep", csrBytes(kred), func() { gsC.Smooth(xs, rred, 1) })
+	add("gauss_seidel_bsr_sweep", bsrBytes(kb), func() { gsB.Smooth(xs, rred, 1) })
+	add("node_block_jacobi_sweep", bsrBytes(kb), func() { nbj.Smooth(xs, rred, 1) })
+
+	// Full V-cycle on both hierarchies.
+	h, err := core.Coarsen(s.Mesh, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var rs []*sparse.CSR
+	for l := 1; l < h.NumLevels(); l++ {
+		rr := h.Grids[l].R
+		if l == 1 {
+			rr = multigrid.CompressCols(rr, dm.Full2Red, dm.NumFree())
+		}
+		rs = append(rs, rr)
+	}
+	mkMG := func(st multigrid.StorageKind) (*multigrid.MG, error) {
+		return multigrid.New(kred, rs, multigrid.Options{Cycle: multigrid.VCycle, Storage: st})
+	}
+	mgC, err := mkMG(multigrid.StorageCSR)
+	if err != nil {
+		return nil, err
+	}
+	mgB, err := mkMG(multigrid.StorageBSR)
+	if err != nil {
+		return nil, err
+	}
+	z := make([]float64, n)
+	add("vcycle_csr", csrBytes(kred), func() { mgC.Apply(rred, z) })
+	add("vcycle_bsr", bsrBytes(kb), func() { mgB.Apply(rred, z) })
+	return rep, nil
+}
+
+// WriteBlockBenchJSON writes the report as indented JSON.
+func WriteBlockBenchJSON(w io.Writer, rep *BlockBenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// BlockBenchTable renders the report as the human-readable study.
+func BlockBenchTable(w io.Writer, rep *BlockBenchReport) {
+	fmt.Fprintf(w, "Blocked storage study (%s, %d dof, %d nnz)\n", rep.Problem, rep.Dof, rep.NNZ)
+	fmt.Fprintf(w, "%-26s %12s %10s %10s\n", "kernel", "ns/op", "MB/s", "allocs/op")
+	for _, e := range rep.Entries {
+		fmt.Fprintf(w, "%-26s %12.0f %10.0f %10d\n", e.Name, e.NsPerOp, e.MBPerSec, e.AllocsPerOp)
+	}
+	fmt.Fprintf(w, "SpMV speedup BSR/CSR: %.2fx\n", rep.SpMVSpeedup)
+}

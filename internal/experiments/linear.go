@@ -231,7 +231,9 @@ func (lr *LinearRun) model(h *core.Hierarchy, dm *fem.DofMap, fineVertOwner []in
 	levelWork[0] += lr.SolveFlops - perf.Sum(levelWork)
 
 	for l, lvl := range mg.Levels {
-		a := lvl.A
+		// The communication model traverses rows; take a scalar view of the
+		// level operator (identity for CSR levels, expansion for BSR).
+		a := sparse.AsCSR(lvl.A)
 		owners := levelOwners[l]
 		if len(owners) != a.NRows {
 			return fmt.Errorf("experiments: owner mismatch at level %d: %d vs %d", l, len(owners), a.NRows)

@@ -67,7 +67,7 @@ func RunNonlinear(spec SizeSpec, steps int) (*NonlinearRun, error) {
 		}
 		rs = append(rs, r)
 	}
-	factory := func(k *sparse.CSR) (krylov.Preconditioner, error) {
+	factory := func(k sparse.Operator) (krylov.Preconditioner, error) {
 		return multigrid.New(k, rs, multigrid.Options{})
 	}
 	_, stats, err := newton.Solve(p, s.Cons, newton.Config{

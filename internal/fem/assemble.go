@@ -258,13 +258,29 @@ func (p *Problem) integrateElement(e int, u []float64, scr *elemScratch, ke, fe 
 // force vector fint(u) from the committed material states. Both use the
 // full 3·NumVerts dof numbering; apply Constraints to reduce. With
 // Workers > 1 element integration runs concurrently; the result is
-// identical to the serial assembly.
+// identical to the serial assembly. The scalar matrix is the expansion of
+// the blocked assembly — same pattern (elements touch all 9 entries of
+// every node pair) and bitwise-identical values.
 func (p *Problem) AssembleTangent(u []float64) (*sparse.CSR, []float64, error) {
+	k, fint, err := p.AssembleBlockTangent(u)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k.ToCSR(), fint, nil
+}
+
+// AssembleBlockTangent is the blocked form of AssembleTangent: the element
+// loop emits one dense 3x3 block per node pair (BlockBuilder.AddBlock)
+// instead of nine scalar triplets, and the tangent comes back in BSR — the
+// paper's BAIJ storage — ready for the blocked solver stack without a
+// conversion pass.
+func (p *Problem) AssembleBlockTangent(u []float64) (*sparse.BSR, []float64, error) {
 	n := p.M.NumDOF()
 	if len(u) != n {
 		return nil, nil, fmt.Errorf("fem: u has %d entries, want %d", len(u), n)
 	}
-	kb := sparse.NewBuilder(n, n)
+	nv := p.M.NumVerts()
+	kb := sparse.NewBlockBuilder(nv, nv, 3)
 	fint := make([]float64, n)
 	ndof := 3 * p.M.Type.NodesPerElem()
 
@@ -288,6 +304,7 @@ func (p *Problem) AssembleTangent(u []float64) (*sparse.CSR, []float64, error) {
 	}
 	flopsPerWorker := make([]int64, workers)
 	errPerWorker := make([]error, workers)
+	var blk [9]float64 // staging for one 3x3 node-pair block
 
 	for e0 := 0; e0 < nElems; e0 += chunk {
 		e1 := e0 + chunk
@@ -325,21 +342,26 @@ func (p *Problem) AssembleTangent(u []float64) (*sparse.CSR, []float64, error) {
 				}
 			}
 		}
-		// Deterministic accumulation in element order.
+		// Deterministic accumulation in element order. Each node pair
+		// contributes one dense 3x3 block; AddBlock accumulates entry-wise
+		// in the same element sequence as the old scalar triplets, so the
+		// expanded matrix is bitwise identical.
 		for e := e0; e < e1; e++ {
 			conn := p.M.Elems[e]
 			ke := kes[e-e0]
 			fe := fes[e-e0]
 			for a, va := range conn {
 				for i := 0; i < 3; i++ {
-					ga := 3*va + i
-					li := 3*a + i
-					fint[ga] += fe[li]
-					for bn, vb := range conn {
-						for j := 0; j < 3; j++ {
-							kb.Add(ga, 3*vb+j, ke[li*ndof+3*bn+j])
-						}
+					fint[3*va+i] += fe[3*a+i]
+				}
+				for bn, vb := range conn {
+					for i := 0; i < 3; i++ {
+						li := 3*a + i
+						blk[3*i+0] = ke[li*ndof+3*bn+0]
+						blk[3*i+1] = ke[li*ndof+3*bn+1]
+						blk[3*i+2] = ke[li*ndof+3*bn+2]
 					}
+					kb.AddBlock(va, vb, blk[:])
 				}
 			}
 		}

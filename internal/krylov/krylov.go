@@ -32,15 +32,15 @@ type identity struct{}
 func (identity) Apply(r, z []float64) { copy(z, r) }
 
 // CG solves A·x = b with plain conjugate gradients.
-func CG(a *sparse.CSR, b, x []float64, rtol float64, maxIter int) Result {
+func CG(a sparse.Operator, b, x []float64, rtol float64, maxIter int) Result {
 	return PCG(a, b, x, identity{}, rtol, maxIter)
 }
 
 // PCG solves A·x = b with preconditioned conjugate gradients, starting from
 // the given x. Convergence is declared when ‖b - A·x‖₂ ≤ rtol·‖b‖₂ (the
 // paper's relative residual criterion).
-func PCG(a *sparse.CSR, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
-	n := a.NRows
+func PCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
+	n := a.Rows()
 	if m == nil {
 		m = identity{}
 	}
@@ -106,8 +106,8 @@ func PCG(a *sparse.CSR, b, x []float64, m Preconditioner, rtol float64, maxIter 
 // exactly symmetric — the full-multigrid (FMG) cycle the paper
 // preconditions with is such an operator. For a symmetric preconditioner
 // FPCG reproduces PCG at the cost of one extra stored vector.
-func FPCG(a *sparse.CSR, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
-	n := a.NRows
+func FPCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
+	n := a.Rows()
 	if m == nil {
 		m = identity{}
 	}
@@ -180,8 +180,8 @@ func FPCG(a *sparse.CSR, b, x []float64, m Preconditioner, rtol float64, maxIter
 }
 
 // GMRES solves A·x = b with restarted GMRES(m) and left preconditioning.
-func GMRES(a *sparse.CSR, b, x []float64, m Preconditioner, restart int, rtol float64, maxIter int) Result {
-	n := a.NRows
+func GMRES(a sparse.Operator, b, x []float64, m Preconditioner, restart int, rtol float64, maxIter int) Result {
+	n := a.Rows()
 	if m == nil {
 		m = identity{}
 	}

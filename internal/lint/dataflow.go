@@ -33,9 +33,9 @@ import (
 // interfaces or the Comm hot protocol).
 func DefaultHotRoots() []string {
 	return []string{
-		"MulVec", "MulVecRange", "Residual", // SpMV kernels
+		"MulVec", "MulVecRange", "Residual", // SpMV kernels (CSR and BSR)
 		"Smooth", "Apply", // smoother / preconditioner interfaces
-		"Exchange", "Dot", // halo protocol
+		"Exchange", "Dot", "MulVecBSR", // halo protocol (scalar + blocked)
 		"Send", "Recv", "RecvAs", "Barrier", // point-to-point + barrier
 		"AllReduceSum", "AllReduceIntSum", "AllReduceMax", // typed collectives
 	}

@@ -26,7 +26,11 @@
 //     (and vice versa), and self-sends are flagged;
 //   - map-order: the coarsening pipeline must not range over maps while
 //     writing output slices; iterate sortutil.Keys instead so runs are
-//     bitwise reproducible.
+//     bitwise reproducible;
+//   - block-shape: a function holding a sparse.BlockBuilder must emit
+//     whole node blocks via AddBlock — scalar Builder.Add calls in the
+//     same scope break the uniform-block invariant the BSR kernels and
+//     the node-granular halo rely on.
 //
 // A finding can be suppressed in place with a directive comment on the
 // same line or the line above:
@@ -112,6 +116,7 @@ func DefaultRules() []Rule {
 		CollectiveUniformity{},
 		SendRecvMatch{},
 		MapOrder{},
+		BlockShape{},
 	}
 }
 

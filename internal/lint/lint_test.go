@@ -349,6 +349,84 @@ func f(v interface{}, a, b float64) {
 	}
 }
 
+// fakeSparse is the fixture stand-in for the sparse package, so
+// block-shape fixtures can declare Builder and BlockBuilder values under
+// the real import path.
+var fakeSparse = fixtureDep{path: "prometheus/internal/sparse", src: `package sparse
+
+// Builder accumulates scalar triplets.
+type Builder struct{}
+
+// Add adds one scalar entry.
+func (b *Builder) Add(i, j int, v float64) {}
+
+// Build builds.
+func (b *Builder) Build() int { return 0 }
+
+// NewBuilder returns a scalar builder.
+func NewBuilder(r, c int) *Builder { return &Builder{} }
+
+// BlockBuilder accumulates dense node blocks.
+type BlockBuilder struct{}
+
+// AddBlock adds one dense block.
+func (bb *BlockBuilder) AddBlock(i, j int, blk []float64) {}
+
+// NewBlockBuilder returns a block builder.
+func NewBlockBuilder(r, c, b int) *BlockBuilder { return &BlockBuilder{} }
+`}
+
+func TestBlockShape(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{fakeSparse}, `package fixture
+
+import "prometheus/internal/sparse"
+
+func mixed() {
+	bb := sparse.NewBlockBuilder(4, 4, 3)
+	kb := sparse.NewBuilder(12, 12)
+	kb.Add(0, 0, 1.0) // flagged: block builder in scope
+	bb.AddBlock(0, 0, nil)
+}
+
+func scalarOnly() {
+	kb := sparse.NewBuilder(12, 12)
+	kb.Add(0, 0, 1.0) // fine: no block builder here
+}
+
+func blockedOnly(bb *sparse.BlockBuilder) {
+	bb.AddBlock(1, 1, nil) // fine: no scalar adds
+}
+`)
+	got := BlockShape{}.Check(pkg)
+	if len(got) != 1 {
+		t.Fatalf("issues = %v, want exactly 1", got)
+	}
+	if got[0].Rule != "block-shape" || got[0].Pos.Line != 8 {
+		t.Fatalf("wrong finding: %+v", got[0])
+	}
+	if !strings.Contains(got[0].Msg, "AddBlock") {
+		t.Fatalf("message should point at AddBlock: %s", got[0].Msg)
+	}
+}
+
+// TestBlockShapeSuppression checks the rule participates in the standard
+// promlint:ignore machinery.
+func TestBlockShapeSuppression(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{fakeSparse}, `package fixture
+
+import "prometheus/internal/sparse"
+
+func mixed(bb *sparse.BlockBuilder, kb *sparse.Builder) {
+	//promlint:ignore block-shape boundary rows are genuinely scalar here
+	kb.Add(0, 0, 1.0)
+}
+`)
+	kept, suppressed := RunAll([]*Package{pkg}, []Rule{BlockShape{}})
+	if len(kept) != 0 || len(suppressed) != 1 {
+		t.Fatalf("kept %v suppressed %v, want 0/1", kept, suppressed)
+	}
+}
+
 func TestDefaultRulesComplete(t *testing.T) {
 	want := map[string]bool{
 		"float-equality":        true,
@@ -362,6 +440,7 @@ func TestDefaultRulesComplete(t *testing.T) {
 		"collective-uniformity": true,
 		"sendrecv-match":        true,
 		"map-order":             true,
+		"block-shape":           true,
 	}
 	names := make([]string, 0, len(want))
 	for _, r := range DefaultRules() {

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BlockShape protects the node-block discipline of the assembly and
+// solver-setup code: once a function holds a sparse.BlockBuilder, every
+// matrix entry it emits should go through AddBlock as a whole BxB node
+// block. A scalar Builder.Add in the same scope almost always means a
+// stray per-dof triplet snuck back into a blocked path — it breaks the
+// uniform-block invariant the BSR kernels and the node-granular halo rely
+// on (blocks with partial fill still store all BxB entries, but mixing
+// the two builders produces two matrices that must then be merged by
+// hand). The rule flags every call to the scalar Add method of
+// sparse.Builder inside a function that also has a BlockBuilder in scope
+// (parameter, local, or method receiver).
+type BlockShape struct {
+	// SparsePath is the import path of the sparse package (default
+	// prometheus/internal/sparse; fixtures override it).
+	SparsePath string
+}
+
+// Name implements Rule.
+func (BlockShape) Name() string { return "block-shape" }
+
+// Check implements Rule.
+func (r BlockShape) Check(pkg *Package) []Issue {
+	spath := r.SparsePath
+	if spath == "" {
+		spath = "prometheus/internal/sparse"
+	}
+	var out []Issue
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			bbName := blockBuilderInScope(pkg, fd, spath)
+			if bbName == "" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Add" {
+					return true
+				}
+				if !isNamedFrom(pkg.Info.Types[sel.X].Type, spath, "Builder") {
+					return true
+				}
+				out = append(out, issue(pkg, call, r.Name(), Error,
+					"scalar Builder.Add with BlockBuilder %s in scope; emit the whole node block with AddBlock", bbName))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// blockBuilderInScope returns the name of a BlockBuilder-typed parameter,
+// receiver or local of the function, or "" if none is declared.
+func blockBuilderInScope(pkg *Package, fd *ast.FuncDecl, spath string) string {
+	name := ""
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if isNamedFrom(obj.Type(), spath, "BlockBuilder") {
+			name = id.Name
+		}
+		return true
+	})
+	return name
+}
+
+// isNamedFrom reports whether t (possibly behind a pointer) is the named
+// type path.name.
+func isNamedFrom(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}

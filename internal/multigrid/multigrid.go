@@ -23,21 +23,41 @@ import (
 type SmootherKind int
 
 const (
-	// BlockJacobiCG (the default) wraps block Jacobi in a conjugate
-	// gradient iteration — the literal reading of the paper's smoother
-	// ("one pre-smoothing and one post-smoothing step within multigrid,
-	// preconditioned with block Jacobi with 6 blocks for every 1,000
-	// unknowns"). Slightly nonlinear: the outer Krylov method must be
-	// flexible (krylov.FPCG), which the solver uses throughout.
-	BlockJacobiCG SmootherKind = iota
-	// BlockJacobi is a stationary damped block Jacobi sweep.
-	BlockJacobi
+	// DomainBlockJacobiCG (the default) wraps the domain-decomposed block
+	// Jacobi in a conjugate gradient iteration — the literal reading of
+	// the paper's smoother ("one pre-smoothing and one post-smoothing step
+	// within multigrid, preconditioned with block Jacobi with 6 blocks for
+	// every 1,000 unknowns"). Slightly nonlinear: the outer Krylov method
+	// must be flexible (krylov.FPCG), which the solver uses throughout.
+	DomainBlockJacobiCG SmootherKind = iota
+	// DomainBlockJacobi is a stationary damped sweep of the same
+	// graph-partitioned subdomain smoother.
+	DomainBlockJacobi
 	// Jacobi is damped pointwise Jacobi.
 	Jacobi
-	// GaussSeidel is symmetric SOR.
+	// GaussSeidel is symmetric SOR (nodal block sweeps on BSR storage).
 	GaussSeidel
 	// Chebyshev is polynomial smoothing.
 	Chebyshev
+	// NodeBlockJacobi is the paper's "block diagonal" smoother for
+	// vector-valued problems: damped Jacobi on the inverted 3x3 nodal
+	// diagonal blocks. Requires BSR level operators.
+	NodeBlockJacobi
+)
+
+// StorageKind selects the per-level matrix storage.
+type StorageKind int
+
+const (
+	// StorageAuto (the default) follows the fine operator: a BSR fine grid
+	// gets BSR coarse grids via the blocked Galerkin product, a CSR fine
+	// grid keeps the scalar pipeline.
+	StorageAuto StorageKind = iota
+	// StorageCSR forces scalar CSR on every level.
+	StorageCSR
+	// StorageBSR blocks the fine operator (3x3 node blocks) when its
+	// dimensions and sparsity allow, then follows the BSR pipeline.
+	StorageBSR
 )
 
 // CycleKind selects the multigrid cycle used per preconditioner apply.
@@ -62,6 +82,10 @@ type Options struct {
 	Omega      float64         // damping for Jacobi/SOR (default 1)
 	BlockCount func(n int) int // block rule (default: paper's 6/1000)
 	ChebDegree int             // default 3
+	Storage    StorageKind     // per-level storage (default: follow the fine operator)
+	// BlockSize is the node-block size used by StorageBSR (default 3, the
+	// elasticity dofs-per-node).
+	BlockSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -80,12 +104,17 @@ func (o Options) withDefaults() Options {
 	if o.ChebDegree == 0 {
 		o.ChebDegree = 3
 	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 3
+	}
 	return o
 }
 
 // Level is one grid of the algebraic hierarchy.
 type Level struct {
-	A *sparse.CSR
+	// A is the level operator — CSR or BSR behind the storage-agnostic
+	// interface; the cycles never look behind it.
+	A sparse.Operator
 	// R restricts residuals from the next finer level to this one; nil on
 	// level 0. P = Rᵀ prolongates corrections.
 	R, P     *sparse.CSR
@@ -180,23 +209,82 @@ func fixEmptyRows(a *sparse.CSR) *sparse.CSR {
 	return b.Build()
 }
 
+// fixEmptyRowsOp is the storage-polymorphic wrapper: the common no-bad-rows
+// case is detected from the diagonal without converting storage. A BSR
+// operator that does need pinning is repaired through the scalar rebuild
+// and *stays* scalar — pinning strips entries out of blocks, and re-blocking
+// the ragged pattern would add fill that changes the smoother's partition
+// graph relative to the CSR pipeline. Levels below a repaired one follow
+// the scalar path, bitwise identical to the pre-refactor hierarchy.
+func fixEmptyRowsOp(a sparse.Operator) sparse.Operator {
+	ab, ok := a.(*sparse.BSR)
+	if !ok {
+		return fixEmptyRows(a.(*sparse.CSR))
+	}
+	d := a.Diag()
+	maxd := 0.0
+	for _, v := range d {
+		if v > maxd {
+			maxd = v
+		}
+	}
+	if maxd == 0 {
+		maxd = 1
+	}
+	for _, v := range d {
+		if v <= 1e-13*maxd {
+			return fixEmptyRows(ab.ToCSR())
+		}
+	}
+	return a
+}
+
+// opSymmetric is the storage-polymorphic symmetry diagnostic used by the
+// promdebug hierarchy checks.
+func opSymmetric(a sparse.Operator, tol float64) bool {
+	switch m := a.(type) {
+	case *sparse.CSR:
+		return m.IsSymmetric(tol)
+	case *sparse.BSR:
+		return m.IsSymmetric(tol)
+	default:
+		return true
+	}
+}
+
 // New assembles the hierarchy: fineA is the (reduced) fine operator and
 // restrictions[l] maps level l dofs to level l+1 dofs, already aligned with
 // fineA's dof numbering on level 0.
-func New(fineA *sparse.CSR, restrictions []*sparse.CSR, opts Options) (*MG, error) {
+func New(fineA sparse.Operator, restrictions []*sparse.CSR, opts Options) (*MG, error) {
 	opts = opts.withDefaults()
-	if fineA.NRows != fineA.NCols {
+	if fineA.Rows() != fineA.Cols() {
 		return nil, errors.New("multigrid: fine operator must be square")
 	}
 	mg := &MG{Opts: opts}
 	a := fineA
+	switch opts.Storage {
+	case StorageCSR:
+		a = sparse.AsCSR(fineA)
+	case StorageBSR:
+		if _, ok := a.(*sparse.BSR); !ok {
+			a = sparse.AutoBlock(sparse.AsCSR(fineA), opts.BlockSize)
+		}
+	}
 	mg.Levels = append(mg.Levels, &Level{A: a})
 	for _, r := range restrictions {
-		if r.NCols != a.NRows {
+		if r.NCols != a.Rows() {
 			return nil, fmt.Errorf("multigrid: restriction %dx%d does not match operator %d",
-				r.NRows, r.NCols, a.NRows)
+				r.NRows, r.NCols, a.Rows())
 		}
-		ac := fixEmptyRows(sparse.Galerkin(r, a))
+		// The blocked Galerkin product accumulates each scalar entry in the
+		// same order as the scalar one, so a BSR hierarchy is bitwise equal
+		// to the CSR hierarchy it replaces (iteration counts included).
+		var ac sparse.Operator
+		if _, blocked := a.(*sparse.BSR); blocked {
+			ac = fixEmptyRowsOp(sparse.GalerkinBSR(r, a))
+		} else {
+			ac = fixEmptyRows(sparse.Galerkin(r, a.(*sparse.CSR)))
+		}
 		// Galerkin product cost estimate: ~2 flops per multiply-add over
 		// the row-merge; use 4·nnz(A)·avg row of R as a proxy.
 		mg.SetupFlops += 4 * int64(ac.NNZ())
@@ -210,18 +298,18 @@ func New(fineA *sparse.CSR, restrictions []*sparse.CSR, opts Options) (*MG, erro
 		// and the coarsest Cholesky factorization.
 		dims := make([]int, len(mg.Levels))
 		for i, lvl := range mg.Levels {
-			dims[i] = lvl.A.NRows
-			check.Assert(lvl.A.IsSymmetric(1e-8), "multigrid.New: level %d operator not symmetric", i)
+			dims[i] = lvl.A.Rows()
+			check.Assert(opSymmetric(lvl.A, 1e-8), "multigrid.New: level %d operator not symmetric", i)
 		}
 		check.StrictlyDecreasing(dims, "multigrid.New level dims")
 	}
 	// Smoothers on all but the coarsest; direct solve on the coarsest.
 	for li, lvl := range mg.Levels {
-		lvl.x = make([]float64, lvl.A.NRows)
-		lvl.b = make([]float64, lvl.A.NRows)
-		lvl.res = make([]float64, lvl.A.NRows)
+		lvl.x = make([]float64, lvl.A.Rows())
+		lvl.b = make([]float64, lvl.A.Rows())
+		lvl.res = make([]float64, lvl.A.Rows())
 		if li == len(mg.Levels)-1 {
-			ch, err := direct.New(lvl.A)
+			ch, err := direct.New(sparse.AsCSR(lvl.A))
 			if err != nil {
 				return nil, fmt.Errorf("multigrid: coarsest factorization: %w", err)
 			}
@@ -238,7 +326,7 @@ func New(fineA *sparse.CSR, restrictions []*sparse.CSR, opts Options) (*MG, erro
 	return mg, nil
 }
 
-func (mg *MG) makeSmoother(a *sparse.CSR) (smooth.Smoother, error) {
+func (mg *MG) makeSmoother(a sparse.Operator) (smooth.Smoother, error) {
 	switch mg.Opts.Smoother {
 	case Jacobi:
 		return smooth.NewJacobi(a, 2.0/3), nil
@@ -246,14 +334,20 @@ func (mg *MG) makeSmoother(a *sparse.CSR) (smooth.Smoother, error) {
 		return smooth.NewGaussSeidel(a, mg.Opts.Omega, true), nil
 	case Chebyshev:
 		return smooth.NewChebyshev(a, mg.Opts.ChebDegree, 30), nil
-	case BlockJacobi:
+	case NodeBlockJacobi:
+		ab, ok := a.(*sparse.BSR)
+		if !ok {
+			return nil, errors.New("multigrid: NodeBlockJacobi smoother requires BSR storage (set Options.Storage = StorageBSR)")
+		}
+		return smooth.NewNodeBlockJacobi(ab, 2.0/3), nil
+	case DomainBlockJacobi:
 		bj, err := mg.blockJacobi(a)
 		if err != nil {
 			return nil, err
 		}
 		bj.AutoDamp()
 		return bj, nil
-	default: // BlockJacobiCG
+	default: // DomainBlockJacobiCG
 		bj, err := mg.blockJacobi(a)
 		if err != nil {
 			return nil, err
@@ -262,15 +356,16 @@ func (mg *MG) makeSmoother(a *sparse.CSR) (smooth.Smoother, error) {
 	}
 }
 
-// blockJacobi builds the paper's block smoother for one level operator.
-func (mg *MG) blockJacobi(a *sparse.CSR) (*smooth.BlockJacobi, error) {
+// blockJacobi builds the paper's subdomain smoother for one level operator.
+func (mg *MG) blockJacobi(a sparse.Operator) (*smooth.DomainBlockJacobi, error) {
 	{
-		n := a.NRows
+		ac := sparse.AsCSR(a)
+		n := ac.NRows
 		nb := mg.Opts.BlockCount(n)
 		// Block partition on the matrix graph (the paper uses METIS).
 		var edges [][2]int
 		for i := 0; i < n; i++ {
-			cols, _ := a.Row(i)
+			cols, _ := ac.Row(i)
 			for _, j := range cols {
 				if i < j {
 					edges = append(edges, [2]int{i, j})
@@ -279,7 +374,7 @@ func (mg *MG) blockJacobi(a *sparse.CSR) (*smooth.BlockJacobi, error) {
 		}
 		g := graph.NewGraph(n, edges)
 		part := graph.GreedyPartition(g, nb)
-		bj, err := smooth.NewBlockJacobi(a, part, nb)
+		bj, err := smooth.NewDomainBlockJacobi(a, part, nb)
 		if err != nil {
 			return nil, fmt.Errorf("multigrid: block smoother: %w", err)
 		}

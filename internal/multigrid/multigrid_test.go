@@ -171,7 +171,7 @@ func TestVCycleAndFMGBothWork(t *testing.T) {
 
 func TestSmootherVariants(t *testing.T) {
 	k, f, rs := buildElasticity(t, 4, core.Options{MinCoarse: 30})
-	for _, s := range []SmootherKind{BlockJacobiCG, BlockJacobi, Jacobi, GaussSeidel, Chebyshev} {
+	for _, s := range []SmootherKind{DomainBlockJacobiCG, DomainBlockJacobi, Jacobi, GaussSeidel, Chebyshev} {
 		mg, err := New(k, rs, Options{Smoother: s, Cycle: VCycle})
 		if err != nil {
 			t.Fatalf("smoother %v: %v", s, err)
@@ -206,9 +206,66 @@ func TestGalerkinOperatorsSymmetric(t *testing.T) {
 		t.Fatal(err)
 	}
 	for li, l := range mg.Levels {
-		if !l.A.IsSymmetric(1e-8) {
+		if !opSymmetric(l.A, 1e-8) {
 			t.Fatalf("level %d operator not symmetric", li)
 		}
+	}
+}
+
+// TestStorageParity pins the central refactor invariant: switching the
+// hierarchy from scalar CSR to node-block BSR changes only the storage
+// layout, never the arithmetic. Galerkin products, smoother sweeps and
+// the Krylov iteration must produce bitwise-identical solutions and the
+// exact same iteration count.
+func TestStorageParity(t *testing.T) {
+	k, f, rs := buildElasticity(t, 4, core.Options{MinCoarse: 30})
+	solve := func(st StorageKind) ([]float64, int) {
+		mg, err := New(k, rs, Options{Storage: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, k.NRows)
+		res := krylov.FPCG(k, f, x, mg, 1e-8, 400)
+		if !res.Converged {
+			t.Fatalf("storage %v did not converge", st)
+		}
+		return x, res.Iterations
+	}
+	xc, ic := solve(StorageCSR)
+	xb, ib := solve(StorageBSR)
+	if ic != ib {
+		t.Fatalf("iteration counts differ: CSR %d vs BSR %d", ic, ib)
+	}
+	for i := range xc {
+		if math.Float64bits(xc[i]) != math.Float64bits(xb[i]) {
+			t.Fatalf("solutions differ at dof %d: %v vs %v", i, xc[i], xb[i])
+		}
+	}
+	// The BSR hierarchy must actually be blocked on the fine level.
+	mg, err := New(k, rs, Options{Storage: StorageBSR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mg.Levels[0].A.(*sparse.BSR); !ok {
+		t.Fatalf("fine level is %T, want *sparse.BSR", mg.Levels[0].A)
+	}
+}
+
+// TestNodeBlockJacobiSmootherConverges exercises the BSR-only smoother
+// end to end: it requires blocked storage and must reject CSR.
+func TestNodeBlockJacobiSmootherConverges(t *testing.T) {
+	k, f, rs := buildElasticity(t, 4, core.Options{MinCoarse: 30})
+	if _, err := New(k, rs, Options{Smoother: NodeBlockJacobi, Storage: StorageCSR}); err == nil {
+		t.Fatal("NodeBlockJacobi on CSR storage should fail")
+	}
+	mg, err := New(k, rs, Options{Smoother: NodeBlockJacobi, Storage: StorageBSR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, k.NRows)
+	res := krylov.FPCG(k, f, x, mg, 1e-8, 400)
+	if !res.Converged {
+		t.Fatal("NodeBlockJacobi-smoothed MG did not converge")
 	}
 }
 

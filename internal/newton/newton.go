@@ -55,8 +55,10 @@ func (c Config) withDefaults() Config {
 
 // PreconFactory builds a preconditioner for a freshly assembled (reduced)
 // tangent — the per-matrix "matrix setup" phase of the paper (Galerkin
-// products and smoother factorizations).
-type PreconFactory func(k *sparse.CSR) (krylov.Preconditioner, error)
+// products and smoother factorizations). The tangent arrives as a storage-
+// agnostic Operator (CSR here; factories may re-block it to BSR before
+// building the hierarchy).
+type PreconFactory func(k sparse.Operator) (krylov.Preconditioner, error)
 
 // StepStats records one load step.
 type StepStats struct {

@@ -26,7 +26,7 @@ func mgFactory(t *testing.T, h *core.Hierarchy, dm *fem.DofMap) PreconFactory {
 		}
 		rs = append(rs, r)
 	}
-	return func(k *sparse.CSR) (krylov.Preconditioner, error) {
+	return func(k sparse.Operator) (krylov.Preconditioner, error) {
 		return multigrid.New(k, rs, multigrid.Options{})
 	}
 }

@@ -76,6 +76,80 @@ func TestSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestBlockHaloSteadyStateAllocs is the blocked analogue of
+// TestSteadyStateAllocs: node-granular exchange, blocked MulVec and
+// blocked Dot recycle the same credit buffers and never allocate per
+// round.
+func TestBlockHaloSteadyStateAllocs(t *testing.T) {
+	const (
+		nb     = 32
+		p      = 4
+		warmup = 5
+		rounds = 200
+		budget = 100
+	)
+	bb := sparse.NewBlockBuilder(nb, nb, 3)
+	blk := make([]float64, 9)
+	for i := 0; i < nb; i++ {
+		for d := range blk {
+			blk[d] = 0
+		}
+		blk[0], blk[4], blk[8] = 6, 6, 6
+		bb.AddBlock(i, i, blk)
+		blk[0], blk[4], blk[8] = -1, -1, -1
+		if i+1 < nb {
+			bb.AddBlock(i, i+1, blk)
+			bb.AddBlock(i+1, i, blk)
+		}
+		bb.AddBlock(i, (i+13)%nb, blk)
+	}
+	a := bb.Build()
+	nodeOwner := make([]int, nb)
+	for i := range nodeOwner {
+		nodeOwner[i] = i * p / nb
+	}
+	h := NewBlockHalo(a, nodeOwner, p)
+	comm := NewComm(p)
+	n := a.Rows()
+
+	var before, after runtime.MemStats
+	comm.Run(func(r *Rank) {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for ib := 0; ib < nb; ib++ {
+			if nodeOwner[ib] == r.ID() {
+				for d := 0; d < 3; d++ {
+					x[3*ib+d] = float64((3*ib+d)%7) - 3
+				}
+			}
+		}
+		round := func() {
+			h.MulVecBSR(r, a, x, y)
+			_ = h.Dot(r, x, y)
+		}
+		for k := 0; k < warmup; k++ {
+			round()
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			runtime.ReadMemStats(&before)
+		}
+		r.Barrier()
+		for k := 0; k < rounds; k++ {
+			round()
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			runtime.ReadMemStats(&after)
+		}
+		r.Barrier()
+	})
+	if got := after.Mallocs - before.Mallocs; got > budget {
+		t.Errorf("blocked steady-state communication allocated %d objects over %d rounds (budget %d): buffers are not being reused",
+			got, rounds, budget)
+	}
+}
+
 // TestTypedReduceManyRounds stresses the two-slot reducer ring: many
 // back-to-back generations with no interleaved barrier, checking every
 // rank reads its own generation's slot, never a recycled one.

@@ -13,8 +13,13 @@ import (
 // vector scatter setup of PETSc used by the paper's numerical kernels.
 type Halo struct {
 	NRanks int
-	Owner  []int   // column/row index -> owning rank
-	Rows   [][]int // rank -> rows it owns (ascending)
+	// BS is the number of scalar values carried per exchanged index: 1 for
+	// scalar (CSR) halos, the block size for node-granular (BSR) halos
+	// built by NewBlockHalo. Blocked messages ship one index plus BS
+	// values per node, cutting the index traffic of the exchange by BS.
+	BS    int
+	Owner []int   // column/row (node) index -> owning rank
+	Rows  [][]int // rank -> rows (block rows when BS > 1) it owns, ascending
 	// send[r][nb] = indices owned by r that neighbour nb needs.
 	send []map[int][]int
 	// recv[r][nb] = indices owned by nb that r needs.
@@ -39,8 +44,32 @@ func NewHalo(a *sparse.CSR, owner []int, nranks int) *Halo {
 	if len(owner) != a.NRows || a.NRows != a.NCols {
 		panic("par: NewHalo wants a square matrix with one owner per row")
 	}
+	return buildHalo(a.NRows, func(i int) []int {
+		cols, _ := a.Row(i)
+		return cols
+	}, owner, nranks, 1)
+}
+
+// NewBlockHalo builds the node-granular halo pattern for a blocked matrix:
+// nodeOwner assigns each block row/column to a rank, and every exchanged
+// message carries one node index plus a.B scalar values per ghost node —
+// the blocked analogue of PETSc's BAIJ vector scatter. The tag discipline
+// is shared with the scalar halo (one tag, one payload type).
+func NewBlockHalo(a *sparse.BSR, nodeOwner []int, nranks int) *Halo {
+	if len(nodeOwner) != a.NBRows || a.NBRows != a.NBCols {
+		panic("par: NewBlockHalo wants a square block matrix with one owner per node")
+	}
+	return buildHalo(a.NBRows, func(i int) []int {
+		return a.ColIdx[a.RowPtr[i]:a.RowPtr[i+1]]
+	}, nodeOwner, nranks, a.B)
+}
+
+// buildHalo constructs the send/recv pattern over an n-row adjacency (rowCols
+// yields the column indices of row i) with bs scalar values per index.
+func buildHalo(n int, rowCols func(i int) []int, owner []int, nranks, bs int) *Halo {
 	h := &Halo{
 		NRanks: nranks,
+		BS:     bs,
 		Owner:  owner,
 		Rows:   make([][]int, nranks),
 		send:   make([]map[int][]int, nranks),
@@ -58,10 +87,9 @@ func NewHalo(a *sparse.CSR, owner []int, nranks int) *Halo {
 	for r := range needed {
 		needed[r] = make(map[int]bool)
 	}
-	for i := 0; i < a.NRows; i++ {
+	for i := 0; i < n; i++ {
 		r := owner[i]
-		cols, _ := a.Row(i)
-		for _, j := range cols {
+		for _, j := range rowCols(i) {
 			if owner[j] != r {
 				needed[r][j] = true
 			}
@@ -87,7 +115,7 @@ func NewHalo(a *sparse.CSR, owner []int, nranks int) *Halo {
 		for nb, idx := range h.send[r] {
 			ch := make(chan *[]float64, 2)
 			for k := 0; k < cap(ch); k++ {
-				buf := make([]float64, len(idx))
+				buf := make([]float64, bs*len(idx))
 				ch <- &buf
 			}
 			h.credits[r][nb] = ch
@@ -96,10 +124,10 @@ func NewHalo(a *sparse.CSR, owner []int, nranks int) *Halo {
 	if check.Enabled {
 		check.Partition(owner, nranks, "par.NewHalo")
 		for r := 0; r < nranks; r++ {
-			check.SortedUnique(h.Rows[r], a.NRows, "par.NewHalo rows")
+			check.SortedUnique(h.Rows[r], n, "par.NewHalo rows")
 			for nb, list := range h.recv[r] {
 				check.Assert(nb != r, "par.NewHalo: rank %d receives ghosts from itself", r)
-				check.SortedUnique(list, a.NRows, "par.NewHalo recv list")
+				check.SortedUnique(list, n, "par.NewHalo recv list")
 				for _, j := range list {
 					check.Assert(owner[j] == nb, "par.NewHalo: rank %d expects index %d from rank %d, but it is owned by %d", r, j, nb, owner[j])
 				}
@@ -111,14 +139,15 @@ func NewHalo(a *sparse.CSR, owner []int, nranks int) *Halo {
 	return h
 }
 
-// GhostCount returns the number of ghost entries rank r receives per
-// product — the paper's per-processor communication volume.
+// GhostCount returns the number of ghost scalar values rank r receives per
+// product — the paper's per-processor communication volume. For blocked
+// halos each ghost node contributes BS values.
 func (h *Halo) GhostCount(r int) int {
 	n := 0
 	for _, l := range h.recv[r] {
 		n += len(l)
 	}
-	return n
+	return h.BS * n
 }
 
 // Exchange updates the ghost entries of x visible to rank r. x is the
@@ -127,11 +156,18 @@ func (h *Halo) GhostCount(r int) int {
 // valid too. Counts message traffic on the rank.
 func (h *Halo) Exchange(r *Rank, x []float64) {
 	me := r.ID()
+	bs := h.BS
 	for nb, idx := range h.send[me] {
 		bp := <-h.credits[me][nb] // recycled packing buffer for this edge
 		vals := *bp
-		for k, j := range idx {
-			vals[k] = x[j]
+		if bs == 1 {
+			for k, j := range idx {
+				vals[k] = x[j]
+			}
+		} else {
+			for k, j := range idx {
+				copy(vals[bs*k:bs*k+bs], x[bs*j:bs*j+bs])
+			}
 		}
 		r.Send(nb, haloTag, bp, 8*len(vals))
 	}
@@ -139,10 +175,16 @@ func (h *Halo) Exchange(r *Rank, x []float64) {
 		bp := RecvAs[*[]float64](r, nb, haloTag)
 		vals := *bp
 		if check.Enabled {
-			check.Assert(len(vals) == len(idx), "par.Halo.Exchange: rank %d received %d ghost values from %d, want %d", me, len(vals), nb, len(idx))
+			check.Assert(len(vals) == bs*len(idx), "par.Halo.Exchange: rank %d received %d ghost values from %d, want %d", me, len(vals), nb, bs*len(idx))
 		}
-		for k, j := range idx {
-			x[j] = vals[k]
+		if bs == 1 {
+			for k, j := range idx {
+				x[j] = vals[k]
+			}
+		} else {
+			for k, j := range idx {
+				copy(x[bs*j:bs*j+bs], vals[bs*k:bs*k+bs])
+			}
 		}
 		h.credits[nb][me] <- bp // return the buffer to the sender's pool
 	}
@@ -170,14 +212,44 @@ func (h *Halo) MulVec(r *Rank, a *sparse.CSR, x, y []float64) {
 	r.CountFlops(2 * int64(nnz))
 }
 
+// MulVecBSR computes y = A·x for the block rows owned by rank r, after a
+// node-granular ghost exchange. Requires a halo built by NewBlockHalo with
+// the same block size as a. The per-node kernel is the same register-blocked
+// micro-kernel as BSR.MulVec, so the owned rows come out bitwise identical
+// to the serial product.
+func (h *Halo) MulVecBSR(r *Rank, a *sparse.BSR, x, y []float64) {
+	if check.Enabled {
+		check.Assert(h.BS == a.B, "par.Halo.MulVecBSR: halo block size %d vs matrix %d", h.BS, a.B)
+	}
+	h.Exchange(r, x)
+	me := r.ID()
+	b := a.B
+	nnzb := 0
+	for _, ib := range h.Rows[me] {
+		a.MulVecRange(x, y, b*ib, b*ib+b)
+		nnzb += a.RowPtr[ib+1] - a.RowPtr[ib]
+	}
+	r.CountFlops(2 * int64(nnzb*b*b))
+}
+
 // Dot returns the global inner product of x and y, each rank contributing
-// its owned entries, via an all-reduce.
+// its owned entries (BS scalars per owned node on blocked halos), via an
+// all-reduce.
 func (h *Halo) Dot(r *Rank, x, y []float64) float64 {
 	me := r.ID()
 	s := 0.0
-	for _, i := range h.Rows[me] {
-		s += x[i] * y[i]
+	if h.BS == 1 {
+		for _, i := range h.Rows[me] {
+			s += x[i] * y[i]
+		}
+	} else {
+		bs := h.BS
+		for _, ib := range h.Rows[me] {
+			for d := bs * ib; d < bs*ib+bs; d++ {
+				s += x[d] * y[d]
+			}
+		}
 	}
-	r.CountFlops(2 * int64(len(h.Rows[me])))
+	r.CountFlops(2 * int64(h.BS*len(h.Rows[me])))
 	return r.AllReduceSum(s)
 }

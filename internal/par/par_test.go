@@ -277,6 +277,126 @@ func TestHaloMulVec(t *testing.T) {
 	}
 }
 
+// blockTestMatrix builds an nb-node block tridiagonal test operator with a
+// long-range band, 3x3 blocks.
+func blockTestMatrix(nb int, rng *rand.Rand) *sparse.BSR {
+	bb := sparse.NewBlockBuilder(nb, nb, 3)
+	blk := make([]float64, 9)
+	fill := func(diag float64) []float64 {
+		for i := range blk {
+			blk[i] = rng.Float64() - 0.5
+		}
+		blk[0] += diag
+		blk[4] += diag
+		blk[8] += diag
+		return blk
+	}
+	for i := 0; i < nb; i++ {
+		bb.AddBlock(i, i, fill(6))
+		if i+1 < nb {
+			bb.AddBlock(i, i+1, fill(0))
+			bb.AddBlock(i+1, i, fill(0))
+		}
+		bb.AddBlock(i, (i+11)%nb, fill(0))
+	}
+	return bb.Build()
+}
+
+// TestBlockHaloMulVec checks the node-granular halo: the distributed
+// blocked product must be bitwise identical to the serial BSR product on
+// every rank count, with the same total flop count, and the blocked
+// exchange must move fewer messages than a scalar halo over the expanded
+// matrix (one index + 3 values per ghost node).
+func TestBlockHaloMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	nb := 40
+	a := blockTestMatrix(nb, rng)
+	n := a.Rows()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	want := make([]float64, n)
+	a.MulVec(x, want)
+
+	for _, p := range []int{1, 2, 3, 5} {
+		nodeOwner := make([]int, nb)
+		for i := range nodeOwner {
+			nodeOwner[i] = i * p / nb
+		}
+		h := NewBlockHalo(a, nodeOwner, p)
+		got := make([]float64, n)
+		comm := NewComm(p)
+		counters := comm.RunCounted(func(r *Rank) {
+			xl := make([]float64, n)
+			for ib := 0; ib < nb; ib++ {
+				if nodeOwner[ib] == r.ID() {
+					copy(xl[3*ib:3*ib+3], x[3*ib:3*ib+3])
+				}
+			}
+			h.MulVecBSR(r, a, xl, got)
+		})
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("p=%d: y[%d] = %v want %v (not bitwise)", p, i, got[i], want[i])
+			}
+		}
+		var total int64
+		for _, f := range counters.Flops {
+			total += f
+		}
+		if total != a.MulVecFlops() {
+			t.Fatalf("p=%d: flops %d want %d", p, total, a.MulVecFlops())
+		}
+		if p > 1 {
+			// Same ghost volume as the scalar halo on the expanded matrix,
+			// from one third of the messages' index entries.
+			hs := NewHalo(a.ToCSR(), expandOwner(nodeOwner, 3), p)
+			for rk := 0; rk < p; rk++ {
+				if h.GhostCount(rk) != hs.GhostCount(rk) {
+					t.Fatalf("p=%d rank %d: blocked ghosts %d vs scalar %d", p, rk, h.GhostCount(rk), hs.GhostCount(rk))
+				}
+			}
+		}
+	}
+}
+
+func expandOwner(nodeOwner []int, b int) []int {
+	out := make([]int, b*len(nodeOwner))
+	for i, o := range nodeOwner {
+		for d := 0; d < b; d++ {
+			out[b*i+d] = o
+		}
+	}
+	return out
+}
+
+// TestBlockHaloDot checks the blocked distributed inner product covers
+// every scalar entry exactly once.
+func TestBlockHaloDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nb := 24
+	a := blockTestMatrix(nb, rng)
+	nodeOwner := make([]int, nb)
+	for i := range nodeOwner {
+		nodeOwner[i] = i % 4
+	}
+	h := NewBlockHalo(a, nodeOwner, 4)
+	n := a.Rows()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+		y[i] = 2
+	}
+	comm := NewComm(4)
+	comm.Run(func(r *Rank) {
+		if d := h.Dot(r, x, y); d != float64(2*n) {
+			t.Errorf("dot = %v want %v", d, float64(2*n))
+		}
+	})
+}
+
 func TestHaloDot(t *testing.T) {
 	n := 40
 	a := sparse.Identity(n)

@@ -55,8 +55,25 @@ func laplace3D(n int) *sparse.CSR {
 	return b.Build()
 }
 
+// blockLaplace returns an n-node block-tridiagonal SPD operator with 3x3
+// node blocks: coupled diagonal blocks and -I off-diagonal blocks — a toy
+// vector-valued elasticity stand-in for the node-block smoothers.
+func blockLaplace(n int) *sparse.BSR {
+	bb := sparse.NewBlockBuilder(n, n, 3)
+	diag := []float64{4, 1, 0, 1, 4, 1, 0, 1, 4}
+	off := []float64{-1, 0, 0, 0, -1, 0, 0, 0, -1}
+	for i := 0; i < n; i++ {
+		bb.AddBlock(i, i, diag)
+		if i+1 < n {
+			bb.AddBlock(i, i+1, off)
+			bb.AddBlock(i+1, i, off)
+		}
+	}
+	return bb.Build()
+}
+
 // errorNorm returns ‖b - A·x‖₂.
-func errorNorm(a *sparse.CSR, x, b []float64) float64 {
+func errorNorm(a sparse.Operator, x, b []float64) float64 {
 	r := make([]float64, len(b))
 	a.Residual(b, x, r)
 	return la.Norm2(r)
@@ -64,9 +81,9 @@ func errorNorm(a *sparse.CSR, x, b []float64) float64 {
 
 // checkReduces verifies that n sweeps reduce the residual monotonically to
 // below frac of the initial.
-func checkReduces(t *testing.T, s Smoother, a *sparse.CSR, sweeps int, frac float64) {
+func checkReduces(t *testing.T, s Smoother, a sparse.Operator, sweeps int, frac float64) {
 	t.Helper()
-	n := a.NRows
+	n := a.Rows()
 	b := make([]float64, n)
 	for i := range b {
 		b[i] = math.Sin(float64(i + 1))
@@ -118,6 +135,77 @@ func TestGaussSeidelReduces(t *testing.T) {
 	checkReduces(t, NewGaussSeidel(a, 1.5, false), a, 60, 0.2)
 }
 
+func TestNodeBlockJacobiReduces(t *testing.T) {
+	a := blockLaplace(40)
+	checkReduces(t, NewNodeBlockJacobi(a, 2.0/3), a, 300, 0.5)
+}
+
+// TestNodeBlockJacobiApply: one application with omega=1 must solve the
+// nodal diagonal exactly — multiplying z back by the diagonal blocks
+// recovers r.
+func TestNodeBlockJacobiApply(t *testing.T) {
+	a := blockLaplace(8)
+	s := NewNodeBlockJacobi(a, 1)
+	n := a.Rows()
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for i := range r {
+		r[i] = math.Sin(float64(i + 1))
+	}
+	s.Apply(r, z)
+	db := a.DiagBlocks()
+	for ib := 0; ib < a.NBRows; ib++ {
+		for d := 0; d < 3; d++ {
+			got := 0.0
+			for c := 0; c < 3; c++ {
+				got += db[ib*9+d*3+c] * z[3*ib+c]
+			}
+			if math.Abs(got-r[3*ib+d]) > 1e-12 {
+				t.Fatalf("D·z != r at node %d component %d: %v vs %v", ib, d, got, r[3*ib+d])
+			}
+		}
+	}
+}
+
+func TestGaussSeidelNodalReduces(t *testing.T) {
+	a := blockLaplace(40)
+	checkReduces(t, NewGaussSeidel(a, 1, false), a, 120, 0.2)
+	checkReduces(t, NewGaussSeidel(a, 1, true), a, 60, 0.2)
+}
+
+// TestGaussSeidelNodalMatchesScalar: with diagonal nodal blocks the block
+// solve degenerates to scalar division, so the nodal sweep on BSR must
+// reproduce the scalar sweep on the expanded CSR.
+func TestGaussSeidelNodalMatchesScalar(t *testing.T) {
+	const n = 12
+	bb := sparse.NewBlockBuilder(n, n, 3)
+	diag := []float64{5, 0, 0, 0, 6, 0, 0, 0, 7}
+	off := []float64{-1, 0, 0, 0, -1, 0, 0, 0, -1}
+	for i := 0; i < n; i++ {
+		bb.AddBlock(i, i, diag)
+		if i+1 < n {
+			bb.AddBlock(i, i+1, off)
+			bb.AddBlock(i+1, i, off)
+		}
+	}
+	a := bb.Build()
+	sb := NewGaussSeidel(a, 1, true)
+	sc := NewGaussSeidel(a.ToCSR(), 1, true)
+	b := make([]float64, a.Rows())
+	for i := range b {
+		b[i] = math.Cos(float64(i))
+	}
+	xb := make([]float64, a.Rows())
+	xc := make([]float64, a.Rows())
+	sb.Smooth(xb, b, 3)
+	sc.Smooth(xc, b, 3)
+	for i := range xb {
+		if math.Abs(xb[i]-xc[i]) > 1e-13 {
+			t.Fatalf("nodal and scalar sweeps diverge at dof %d: %v vs %v", i, xb[i], xc[i])
+		}
+	}
+}
+
 func TestChebyshevSmoothsHighFrequency(t *testing.T) {
 	// Chebyshev targets the high end of the spectrum: a high-frequency
 	// error must decay much faster than a smooth one.
@@ -161,7 +249,7 @@ func TestBlockJacobi(t *testing.T) {
 	g := graph.NewGraph(n, edges)
 	nb := DefaultBlockCount(n)
 	part := graph.GreedyPartition(g, nb)
-	s, err := NewBlockJacobi(a, part, nb)
+	s, err := NewDomainBlockJacobi(a, part, nb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +265,7 @@ func TestBlockJacobi(t *testing.T) {
 	for i := range part1 {
 		part1[i] = i
 	}
-	s1, err := NewBlockJacobi(a, part1, n)
+	s1, err := NewDomainBlockJacobi(a, part1, n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +289,7 @@ func TestBlockJacobiSingleBlockIsDirect(t *testing.T) {
 	// One block covering everything solves the system exactly in one sweep.
 	a := laplace1D(20)
 	part := make([]int, 20)
-	s, err := NewBlockJacobi(a, part, 1)
+	s, err := NewDomainBlockJacobi(a, part, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +333,7 @@ func TestSmootherSymmetryForPCG(t *testing.T) {
 		}
 		return graph.NewGraph(n, edges)
 	}(), 5)
-	bj, err := NewBlockJacobi(a, part, 5)
+	bj, err := NewDomainBlockJacobi(a, part, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +361,7 @@ func TestCGSmootherStrongerThanInner(t *testing.T) {
 	a := laplace3D(5)
 	n := a.NRows
 	part := graph.GreedyPartition(matrixGraph(a), 4)
-	inner, err := NewBlockJacobi(a, part, 4)
+	inner, err := NewDomainBlockJacobi(a, part, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +405,7 @@ func matrixGraph(a *sparse.CSR) *graph.Graph {
 func TestBlockJacobiAutoDamp(t *testing.T) {
 	a := laplace3D(4)
 	part := graph.GreedyPartition(matrixGraph(a), 3)
-	s, err := NewBlockJacobi(a, part, 3)
+	s, err := NewDomainBlockJacobi(a, part, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

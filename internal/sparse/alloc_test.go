@@ -27,3 +27,26 @@ func TestSpMVZeroAlloc(t *testing.T) {
 		t.Errorf("Residual allocates %.1f per call, want 0", n)
 	}
 }
+
+// TestBSRSpMVZeroAlloc locks in the zero-allocation guarantee for the
+// blocked kernels: the 3x3 micro-kernel, the ragged-range fallback and the
+// blocked residual must not touch the allocator in steady state.
+func TestBSRSpMVZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randBSR(rng, 100, 100, 3, 0.05)
+	x := make([]float64, a.Cols())
+	y := make([]float64, a.Rows())
+	r := make([]float64, a.Rows())
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	if n := testing.AllocsPerRun(50, func() { a.MulVec(x, y) }); n != 0 {
+		t.Errorf("BSR.MulVec allocates %.1f per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { a.MulVecRange(x, y, 1, a.Rows()-1) }); n != 0 {
+		t.Errorf("BSR.MulVecRange allocates %.1f per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { a.Residual(y, x, r) }); n != 0 {
+		t.Errorf("BSR.Residual allocates %.1f per call, want 0", n)
+	}
+}

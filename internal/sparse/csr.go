@@ -24,6 +24,12 @@ type CSR struct {
 // NNZ returns the number of stored entries.
 func (a *CSR) NNZ() int { return len(a.ColIdx) }
 
+// Rows returns the number of rows. Part of the Operator interface.
+func (a *CSR) Rows() int { return a.NRows }
+
+// Cols returns the number of columns. Part of the Operator interface.
+func (a *CSR) Cols() int { return a.NCols }
+
 // Builder accumulates triplets (duplicates are summed) and converts to CSR.
 type Builder struct {
 	nRows, nCols int

@@ -80,6 +80,72 @@ func FuzzBuilderToCSR(f *testing.F) {
 	})
 }
 
+// decodeBlocks turns fuzz bytes into a deterministic block stream for an
+// r x c block builder with 3x3 blocks: each chunk is (i, j, 9 raw bytes).
+func decodeBlocks(data []byte) (r, c int, blocks [][]float64, idx [][2]int) {
+	if len(data) < 2 {
+		return 1, 1, nil, nil
+	}
+	r = int(data[0])%8 + 1
+	c = int(data[1])%8 + 1
+	data = data[2:]
+	for len(data) >= 11 {
+		i := int(data[0]) % r
+		j := int(data[1]) % c
+		blk := make([]float64, 9)
+		for t := 0; t < 9; t++ {
+			blk[t] = float64(int(data[2+t])-128) / 16
+		}
+		idx = append(idx, [2]int{i, j})
+		blocks = append(blocks, blk)
+		data = data[11:]
+	}
+	return r, c, blocks, idx
+}
+
+// FuzzBSRRoundTrip checks that arbitrary block matrices survive the
+// ToCSR -> FromCSR round trip with bitwise-equal structure and blocks, and
+// that the blocked product matches the expanded scalar product bitwise.
+func FuzzBSRRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 3, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{5, 2, 4, 1, 255, 0, 128, 3, 9, 27, 81, 16, 64, 1, 0, 200, 200, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, c, blocks, idx := decodeBlocks(data)
+		bb := NewBlockBuilder(r, c, 3)
+		for k, ij := range idx {
+			bb.AddBlock(ij[0], ij[1], blocks[k])
+		}
+		a := bb.Build()
+
+		back, err := FromCSR(a.ToCSR(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bsrEqual(a, back) {
+			t.Fatal("BSR -> ToCSR -> FromCSR is not the identity")
+		}
+
+		x := make([]float64, a.Cols())
+		for j := range x {
+			if len(data) > 0 {
+				x[j] = float64(int(data[j%len(data)])-128) / 32
+			} else {
+				x[j] = 1
+			}
+		}
+		yb := make([]float64, a.Rows())
+		yc := make([]float64, a.Rows())
+		a.MulVec(x, yb)
+		a.ToCSR().MulVec(x, yc)
+		for i := range yb {
+			if math.Float64bits(yb[i]) != math.Float64bits(yc[i]) {
+				t.Fatalf("blocked SpMV differs from scalar at row %d: %g vs %g", i, yb[i], yc[i])
+			}
+		}
+	})
+}
+
 // FuzzSpMV checks MulVec (and MulVecRange over a split) against a dense
 // reference product built from the same triplets.
 func FuzzSpMV(f *testing.F) {

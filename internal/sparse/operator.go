@@ -1,0 +1,73 @@
+package sparse
+
+// Operator is the storage-agnostic interface every solver algorithm in the
+// tree is written against: Krylov methods, smoothers, the multigrid cycle
+// and the parallel kernels only need a matrix-vector product, a residual,
+// a diagonal and a handful of size queries. CSR and BSR both implement it;
+// new storage formats (matrix-free element products, batched backends) slot
+// in behind the same interface without touching the algorithms. This is the
+// PETSc Mat-object decoupling that let the paper swap AIJ for the blocked
+// BAIJ format and collect the per-processor Mflop gains.
+type Operator interface {
+	// Rows and Cols return the operator's dimensions.
+	Rows() int
+	Cols() int
+	// MulVec computes y = A·x.
+	MulVec(x, y []float64)
+	// MulVecRange computes y[i] = (A·x)[i] for i in [lo, hi); rows outside
+	// the range are left untouched. It is the kernel for row-partitioned
+	// parallel products.
+	MulVecRange(x, y []float64, lo, hi int)
+	// Residual computes r = b - A·x.
+	Residual(b, x, r []float64)
+	// Diag returns a freshly allocated copy of the diagonal (zeros where
+	// absent).
+	Diag() []float64
+	// At returns A(i,j), zero when the entry is not stored.
+	At(i, j int) float64
+	// NNZ returns the number of stored scalar entries (explicit zeros
+	// included).
+	NNZ() int
+	// MulVecFlops returns the flop count of one MulVec (2·nnz by the
+	// paper's convention).
+	MulVecFlops() int64
+}
+
+// Compile-time interface conformance for both storage formats.
+var (
+	_ Operator = (*CSR)(nil)
+	_ Operator = (*BSR)(nil)
+)
+
+// AsCSR returns a scalar CSR view of op: the identity for *CSR, the
+// expanded scalar matrix for *BSR. It is the escape hatch for setup-time
+// code that genuinely needs row traversal (graph partitioning, direct
+// factorization, submatrix extraction); steady-state kernels should stay
+// on the Operator interface.
+func AsCSR(op Operator) *CSR {
+	switch a := op.(type) {
+	case *CSR:
+		return a
+	case *BSR:
+		return a.ToCSR()
+	default:
+		panic("sparse: AsCSR: unsupported operator type")
+	}
+}
+
+// AutoBlock returns the preferred storage for a square scalar matrix with b
+// dofs per node: the node-blocked BSR when the dimensions are b-divisible
+// and blocking does not bloat the pattern (fill beyond 2x the scalar nnz
+// means the sparsity is not node-aligned), the original CSR otherwise.
+// Matrices assembled per node pair (the elasticity stack) block with zero
+// fill; b <= 1 or misaligned patterns fall back to CSR unchanged.
+func AutoBlock(a *CSR, b int) Operator {
+	if b <= 1 || a.NRows != a.NCols || a.NRows%b != 0 {
+		return a
+	}
+	bsr, err := FromCSR(a, b)
+	if err != nil || bsr.NNZ() > 2*a.NNZ() {
+		return a
+	}
+	return bsr
+}

@@ -45,6 +45,13 @@ type (
 	Model = material.Model
 	// CSR is a sparse matrix in compressed sparse row form.
 	CSR = sparse.CSR
+	// BSR is a block compressed sparse row matrix (3x3 node blocks for
+	// elasticity) — the PETSc BAIJ analogue the paper credits for its
+	// per-processor Mflop rate.
+	BSR = sparse.BSR
+	// Operator is the storage-agnostic sparse operator interface the
+	// solver stack is written against; CSR and BSR both implement it.
+	Operator = sparse.Operator
 	// CoarsenOptions controls the MIS coarsening (core.Options).
 	CoarsenOptions = core.Options
 	// MGOptions controls the multigrid cycle (multigrid.Options).
@@ -211,14 +218,21 @@ type Result struct {
 // operator (the per-matrix setup phase: Galerkin products, block
 // factorizations). For SmoothedAggregation hierarchies the restriction
 // chain is built from the first operator seen and reused afterwards.
-func (s *Solver) Preconditioner(kred *CSR) (*multigrid.MG, error) {
+// Geometric hierarchies on node-aligned constraint sets (every vertex
+// fully free or fully fixed) re-block a scalar tangent into 3x3-node BSR
+// before building the hierarchy; Options.MG.Storage overrides the choice.
+func (s *Solver) Preconditioner(kred Operator) (*multigrid.MG, error) {
 	if s.Opts.Hierarchy == SmoothedAggregation && s.rs == nil {
 		b := aggregation.RigidBodyModes(s.Mesh.Coords, s.dofMap.Full2Red, s.dofMap.NumFree())
-		rs, err := aggregation.BuildRestrictions(kred, b, aggregation.Options{})
+		rs, err := aggregation.BuildRestrictions(sparse.AsCSR(kred), b, aggregation.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("prometheus: aggregation setup: %w", err)
 		}
 		s.rs = rs
+	}
+	if kc, ok := kred.(*sparse.CSR); ok &&
+		s.Opts.Hierarchy == GeometricMIS && s.dofMap.NodeAligned(3) {
+		kred = sparse.AutoBlock(kc, 3)
 	}
 	return multigrid.New(kred, s.rs, s.Opts.MG)
 }
@@ -258,7 +272,7 @@ func (s *Solver) SolveLinear(k *CSR, f []float64) ([]float64, *Result, error) {
 // hardMat (-1 to disable) selects the material whose plastic fraction is
 // tracked.
 func (s *Solver) SolveNonlinear(p *Problem, cfg NewtonConfig, hardMat int) ([]float64, *NewtonStats, error) {
-	factory := func(k *sparse.CSR) (krylov.Preconditioner, error) {
+	factory := func(k sparse.Operator) (krylov.Preconditioner, error) {
 		return s.Preconditioner(k)
 	}
 	return newton.Solve(p, s.cons, cfg, factory, hardMat)

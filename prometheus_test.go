@@ -66,6 +66,56 @@ func TestPublicAPISolveLinear(t *testing.T) {
 	}
 }
 
+// TestPreconditionerAutoBlocks checks the storage decision at the public
+// surface: a node-aligned constraint set (FixVert only) re-blocks the
+// reduced tangent into 3x3 BSR, while component-wise constraints keep CSR.
+func TestPreconditionerAutoBlocks(t *testing.T) {
+	m, cons, f := buildCube(t, 4)
+	solver, err := NewSolver(m, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(m, []Model{LinearElastic{E: 1, Nu: 0.3}}, false)
+	k, _, err := p.AssembleTangent(make([]float64, m.NumDOF()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kred, _ := cons.Reduce(k, f, solver.dofMap)
+	mg, err := solver.Preconditioner(kred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mg.Levels[0].A.(*BSR); !ok {
+		t.Fatalf("node-aligned problem: fine level is %T, want *BSR", mg.Levels[0].A)
+	}
+
+	// Fix a single component of one free vertex: no longer node-aligned.
+	cons2 := NewConstraints()
+	for d, v := range cons.Fixed {
+		cons2.FixDof(d, v)
+	}
+	var loose int
+	for v, pt := range m.Coords {
+		if pt.Z != 0 {
+			loose = v
+			break
+		}
+	}
+	cons2.FixDof(3*loose, 0)
+	solver2, err := NewSolver(m, cons2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kred2, _ := cons2.Reduce(k, f, solver2.dofMap)
+	mg2, err := solver2.Preconditioner(kred2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mg2.Levels[0].A.(*CSR); !ok {
+		t.Fatalf("component-constrained problem: fine level is %T, want *CSR", mg2.Levels[0].A)
+	}
+}
+
 func TestPublicAPINonlinear(t *testing.T) {
 	m, cons, _ := buildCube(t, 3)
 	// Displacement-driven crush of a plastic cube.
