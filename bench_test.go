@@ -7,9 +7,11 @@
 package prometheus
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"prometheus/internal/aggregation"
 	"prometheus/internal/core"
@@ -22,6 +24,7 @@ import (
 	"prometheus/internal/material"
 	"prometheus/internal/mesh"
 	"prometheus/internal/multigrid"
+	"prometheus/internal/obs"
 	"prometheus/internal/par"
 	"prometheus/internal/perf"
 	"prometheus/internal/problems"
@@ -373,6 +376,73 @@ func BenchmarkSmoother(b *testing.B) {
 				tc.s.Smooth(x, rhs, 1)
 			}
 		})
+		// The same sweep with observability recording on, so -benchmem
+		// output shows the span overhead (and its zero allocations)
+		// next to the uninstrumented number.
+		b.Run(tc.name+"/obs", func(b *testing.B) {
+			obs.EnableWith(obs.Config{RingCap: 1 << 12})
+			defer obs.Disable()
+			x := make([]float64, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tc.s.Smooth(x, rhs, 1)
+			}
+		})
+	}
+}
+
+// TestSmootherObsOverhead gates the cost of the observability spans on
+// the smoother hot path: with recording enabled, a relaxation sweep may
+// be at most 5% slower than with recording off. Minimum-of-batches
+// timing on both sides keeps scheduler noise out of the comparison.
+func TestSmootherObsOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	s := problems.NewSpheresConfig(problems.SpheresConfig{
+		Layers: 5, ElemsPerLayer: 1, CoreElems: 2, OuterElems: 2,
+	})
+	p := fem.NewProblem(s.Mesh, s.Models, true)
+	k, _, err := p.AssembleTangent(make([]float64, s.Mesh.NumDOF()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := k.NRows
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i%5) - 2
+	}
+	jac := smooth.NewJacobi(k, 2.0/3)
+	x := make([]float64, n)
+
+	// Minimum wall time of many fixed-size batches: the most
+	// noise-robust estimator for a sub-millisecond kernel.
+	const sweepsPerBatch = 10
+	const batches = 30
+	minBatch := func() time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for b := 0; b < batches; b++ {
+			t0 := time.Now()
+			for i := 0; i < sweepsPerBatch; i++ {
+				jac.Smooth(x, rhs, 1)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	obs.Disable()
+	jac.Smooth(x, rhs, 1) // warm caches before either measurement
+	off := minBatch()
+	obs.EnableWith(obs.Config{RingCap: 1 << 16})
+	defer obs.Disable()
+	on := minBatch()
+	ratio := float64(on) / float64(off)
+	t.Logf("smoother sweep obs on/off: %.4fx (%v vs %v per %d sweeps)", ratio, on, off, sweepsPerBatch)
+	if ratio > 1.05 {
+		t.Errorf("obs-enabled smoother sweep is %.1f%% slower than disabled, gate is 5%%", 100*(ratio-1))
 	}
 }
 

@@ -10,10 +10,13 @@
 //
 // Experiments: table1, table2, fig7, fig9, fig10, fig11, fig12, fig13,
 // thinbody, ordering, parmis, amg, phases, headline, ablations,
-// blockbench, all.
+// blockbench, obsbench, all.
 // -csv additionally writes the scaled series as CSV for plotting.
-// -json writes the blockbench CSR-vs-BSR kernel study (ns/op, MB/s,
-// allocs/op; schema in EXPERIMENTS.md) to the given path.
+// -json writes a kernel study as JSON to the given path: the obsbench
+// observability report when -exp obsbench, otherwise the blockbench
+// CSR-vs-BSR study (schemas in EXPERIMENTS.md).
+// -obs enables the observability subsystem for the whole run and prints
+// the -log_view-style event table after the experiments finish.
 package main
 
 import (
@@ -23,14 +26,20 @@ import (
 
 	"prometheus/internal/experiments"
 	"prometheus/internal/multigrid"
+	"prometheus/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (see package doc)")
 	full := flag.Bool("full", false, "run the larger series and full load schedule")
 	csvPath := flag.String("csv", "", "also write the scaled series as CSV to this path")
-	jsonPath := flag.String("json", "", "write the blockbench kernel study as JSON to this path")
+	jsonPath := flag.String("json", "", "write the obsbench (with -exp obsbench) or blockbench kernel study as JSON to this path")
+	obsOn := flag.Bool("obs", false, "record obs events for the run and print the event table at the end")
 	flag.Parse()
+
+	if *obsOn {
+		obs.Enable()
+	}
 
 	maxK := 2
 	steps := 4
@@ -44,6 +53,7 @@ func main() {
 	w := os.Stdout
 	var runs []*experiments.LinearRun
 	var blockRep *experiments.BlockBenchReport
+	var obsRep *experiments.ObsBenchReport
 	needSeries := func() error {
 		if runs != nil {
 			return nil
@@ -106,6 +116,14 @@ func main() {
 			blockRep = rep
 			experiments.BlockBenchTable(w, rep)
 			return nil
+		case "obsbench":
+			rep, err := experiments.ObsBench()
+			if err != nil {
+				return err
+			}
+			obsRep = rep
+			experiments.ObsBenchTable(w, rep)
+			return nil
 		case "ablations":
 			if err := experiments.AblationTOL(w); err != nil {
 				return err
@@ -132,9 +150,9 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table1", "fig9", "fig7", "table2", "fig10", "fig11",
-			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench"}
+			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench", "obsbench"}
 	}
-	if *jsonPath != "" && *exp != "blockbench" && *exp != "all" {
+	if *jsonPath != "" && *exp != "blockbench" && *exp != "obsbench" && *exp != "all" {
 		names = append(names, "blockbench")
 	}
 	for i, name := range names {
@@ -172,7 +190,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "prombench: json: %v\n", err)
 			os.Exit(1)
 		}
-		err = experiments.WriteBlockBenchJSON(f, blockRep)
+		if *exp == "obsbench" {
+			err = experiments.WriteObsBenchJSON(f, obsRep)
+		} else {
+			err = experiments.WriteBlockBenchJSON(f, blockRep)
+		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -181,5 +203,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "\nwrote %s\n", *jsonPath)
+	}
+	if *obsOn {
+		fmt.Fprintln(w)
+		if err := obs.Snapshot().WriteLogView(w); err != nil {
+			fmt.Fprintf(os.Stderr, "prombench: obs: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -6,19 +6,35 @@
 //
 //	promsolve [-problem spheres|cube|cantilever] [-size k] [-nonlinear]
 //	          [-steps n] [-rtol tol] [-cycle fmg|v]
+//	          [-profile] [-profile-dir dir] [-http addr]
+//
+// -profile records every instrumented phase with the internal/obs
+// subsystem and prints the PETSc -log_view-style event table plus the
+// measured-counter parallel efficiency figures after the solve.
+// -profile-dir additionally writes logview.txt, profile.json and
+// trace.json (Chrome trace_event format, open in about:tracing or
+// https://ui.perfetto.dev) into the directory. -http serves
+// /debug/pprof and /debug/vars (the obs profile is published as the
+// expvar "prometheus_obs") on the given address for the whole run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"time"
 
 	prometheus "prometheus"
 	"prometheus/internal/experiments"
 	"prometheus/internal/geom"
+	"prometheus/internal/graph"
 	"prometheus/internal/material"
 	"prometheus/internal/meshio"
+	"prometheus/internal/obs"
+	"prometheus/internal/perf"
 	"prometheus/internal/problems"
 )
 
@@ -30,7 +46,23 @@ func main() {
 	steps := flag.Int("steps", 10, "load steps for -nonlinear")
 	rtol := flag.Float64("rtol", 1e-4, "linear relative tolerance")
 	cycle := flag.String("cycle", "fmg", "multigrid cycle: fmg or v")
+	profile := flag.Bool("profile", false, "record obs events and print the -log_view-style table after the run")
+	profileDir := flag.String("profile-dir", "", "with -profile, write logview.txt, profile.json and trace.json into this directory")
+	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *httpAddr != "" {
+		obs.PublishExpvar()
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "promsolve: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving pprof/expvar on http://%s/debug/pprof and /debug/vars\n", *httpAddr)
+	}
+	if *profile || *profileDir != "" {
+		obs.EnableWith(obs.Config{RingCap: 1 << 17})
+	}
 
 	opts := prometheus.Options{RTol: *rtol}
 	if *cycle == "v" {
@@ -112,6 +144,10 @@ func main() {
 		}
 		fmt.Printf("totals: %d Newton its, %d PCG its, first solve %d its\n",
 			stats.TotalNewton, stats.TotalPCG, stats.FirstSolveIters)
+		if *profile || *profileDir != "" {
+			reportProfile(*profileDir, nil, nil)
+		}
+		waitHTTP(*httpAddr)
 		return
 	}
 
@@ -136,6 +172,69 @@ func main() {
 	fmt.Printf("MG-PCG: %d iterations to rtol=%g on %d levels; %.1f Mflop solve, %.1f Mflop setup\n",
 		res.Iterations, *rtol, res.Levels,
 		float64(res.SolveFlops)/1e6, float64(res.SetupFlops)/1e6)
+
+	if *profile || *profileDir != "" {
+		// Dof ownership for the measured parallel phase: RCB over the
+		// mesh vertices, three dofs per vertex.
+		owner := make([]int, m.NumDOF())
+		for v, o := range graph.RCB(m.Coords, profileRanks) {
+			owner[3*v] = o
+			owner[3*v+1] = o
+			owner[3*v+2] = o
+		}
+		reportProfile(*profileDir, k, owner)
+	}
+	waitHTTP(*httpAddr)
+}
+
+// profileRanks is the simulated rank count of the -profile measured
+// halo phase (the measured-counter efficiency figures).
+const profileRanks = 4
+
+// reportProfile prints the obs event table and, when k is non-nil, the
+// measured-counter parallel efficiency of a halo SpMV phase over k.
+// With dir non-empty it also writes logview.txt, profile.json and
+// trace.json (Chrome trace_event format) there.
+func reportProfile(dir string, k *prometheus.CSR, owner []int) {
+	// Snapshot before the halo phase below resets the recording.
+	p := obs.Snapshot()
+	fmt.Println()
+	fail(p.WriteLogView(os.Stdout))
+	if dir != "" {
+		fail(os.MkdirAll(dir, 0o755))
+		writeFile := func(name string, write func(f *os.File) error) {
+			f, err := os.Create(filepath.Join(dir, name))
+			fail(err)
+			err = write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			fail(err)
+		}
+		writeFile("logview.txt", func(f *os.File) error { return p.WriteLogView(f) })
+		writeFile("profile.json", func(f *os.File) error { return p.WriteJSON(f) })
+		writeFile("trace.json", func(f *os.File) error { return p.WriteChromeTrace(f) })
+		fmt.Printf("wrote %s/{logview.txt,profile.json,trace.json}\n", dir)
+	}
+	if k == nil {
+		return
+	}
+	eff, err := experiments.MeasuredHaloEfficiency(k, owner, profileRanks, 20, perf.PaperIBM())
+	fail(err)
+	fmt.Printf("measured halo SpMV on %d ranks: %d flops, %d msgs, %d bytes\n",
+		eff.Ranks, eff.Flops, eff.Msgs, eff.Bytes)
+	fmt.Printf("  efficiency (IBM model): load %.3f  e_c %.3f  e^I_s %.3f  e^F_s %.3f  total %.3f\n",
+		eff.Load, eff.Eff.Ec, eff.Eff.EIs, eff.Eff.EFs, eff.Eff.Total)
+}
+
+// waitHTTP keeps the process alive after the run when -http is set, so
+// the pprof and expvar endpoints stay inspectable. Interrupt to exit.
+func waitHTTP(addr string) {
+	if addr == "" {
+		return
+	}
+	fmt.Printf("run complete; still serving http://%s (interrupt to exit)\n", addr)
+	select {}
 }
 
 func fmtRatios(r []float64) []string {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"prometheus/internal/obs"
 	"prometheus/internal/problems"
 )
 
@@ -82,5 +83,75 @@ func TestSolverDeterminismSpheres(t *testing.T) {
 	}
 	if a.levels < 2 {
 		t.Fatalf("spheres problem did not coarsen: %d levels", a.levels)
+	}
+}
+
+// TestSolverDeterminismObsEnabled asserts the observability subsystem
+// is purely passive: a solve with obs recording produces the bitwise
+// identical solution, residual history and iteration count as a solve
+// without it. Any obs call that perturbs the numerics (reordering,
+// extra work on a measured value, a stray float in a kernel) diverges
+// here.
+func TestSolverDeterminismObsEnabled(t *testing.T) {
+	run := func(record bool) ([]uint64, []uint64, int) {
+		if record {
+			obs.Enable()
+		} else {
+			obs.Disable()
+		}
+		defer obs.Disable()
+		s := problems.NewSpheresConfig(problems.SpheresConfig{
+			Layers: 3, ElemsPerLayer: 1, CoreElems: 2, OuterElems: 2,
+		})
+		solver, err := NewSolver(s.Mesh, s.Cons, Options{RTol: 1e-8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewProblem(s.Mesh, s.Models, true)
+		k, _, err := p.AssembleTangent(make([]float64, s.Mesh.NumDOF()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, res, err := solver.SolveLinear(k, make([]float64, s.Mesh.NumDOF()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := func(xs []float64) []uint64 {
+			out := make([]uint64, len(xs))
+			for i, x := range xs {
+				out[i] = math.Float64bits(x)
+			}
+			return out
+		}
+		return bits(u), bits(res.Residuals), res.Iterations
+	}
+
+	uOff, rOff, itOff := run(false)
+	uOn, rOn, itOn := run(true)
+	if itOff != itOn {
+		t.Fatalf("iteration counts differ: %d without obs, %d with", itOff, itOn)
+	}
+	if len(rOff) != len(rOn) {
+		t.Fatalf("residual history lengths differ: %d vs %d", len(rOff), len(rOn))
+	}
+	for i := range rOff {
+		if rOff[i] != rOn[i] {
+			t.Fatalf("residual history diverges at iteration %d with obs enabled (bitwise)", i)
+		}
+	}
+	for i := range uOff {
+		if uOff[i] != uOn[i] {
+			t.Fatalf("solution diverges at dof %d with obs enabled (bitwise)", i)
+		}
+	}
+
+	// The recording run must actually have recorded the solve: Disable
+	// keeps the data, so the obs-on run's profile is still readable.
+	prof := obs.Snapshot()
+	if _, ok := prof.Event("krylov.fpcg"); !ok {
+		t.Fatal("obs-enabled solve recorded no krylov.fpcg event")
+	}
+	if prof.Counter("krylov.iterations") == 0 {
+		t.Fatal("obs-enabled solve recorded no iterations")
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"prometheus/internal/geom"
 	"prometheus/internal/graph"
 	"prometheus/internal/mesh"
+	"prometheus/internal/obs"
 	"prometheus/internal/par"
 	"prometheus/internal/sortutil"
 	"prometheus/internal/sparse"
@@ -138,12 +139,21 @@ func (h *Hierarchy) NumLevels() int { return len(h.Grids) }
 
 // Coarsen builds the full hierarchy from the input mesh.
 func Coarsen(m *mesh.Mesh, opts Options) (*Hierarchy, error) {
+	sp := obs.Start(evCoarsen)
+	h, err := coarsen(m, opts)
+	sp.End()
+	return h, err
+}
+
+func coarsen(m *mesh.Mesh, opts Options) (*Hierarchy, error) {
 	opts = opts.withDefaults()
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	h := &Hierarchy{Opts: opts}
+	spc := obs.Start(evClassify)
 	cls := topo.Reclassify(m, opts.TOL)
+	spc.End()
 	h.Grids = append(h.Grids, &Grid{Mesh: m, Class: cls})
 
 	for len(h.Grids) < opts.MaxLevels {
@@ -151,7 +161,9 @@ func Coarsen(m *mesh.Mesh, opts Options) (*Hierarchy, error) {
 		if cur.Mesh.NumVerts() <= opts.MinCoarse {
 			break
 		}
+		spl := obs.Start(evLevel)
 		next, err := coarsenOnce(cur, len(h.Grids), opts)
+		spl.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: level %d: %w", len(h.Grids), err)
 		}
@@ -168,6 +180,7 @@ func Coarsen(m *mesh.Mesh, opts Options) (*Hierarchy, error) {
 func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 	m := parent.Mesh
 	cls := parent.Class
+	spm := obs.Start(evMIS)
 	g := m.NodeGraph()
 	mg := cls.ModifiedGraph(g)
 
@@ -179,6 +192,7 @@ func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 	} else {
 		mis = graph.MIS(mg, order, cls.Rank, cls.Immortal())
 	}
+	spm.End()
 	if len(mis) < 5 || len(mis) >= m.NumVerts() {
 		return nil, nil // too small to remesh, or no reduction
 	}
@@ -200,7 +214,9 @@ func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 		coarseOf[v] = i
 	}
 
+	spr := obs.Start(evRemesh)
 	tri, err := delaunay.New(coords)
+	spr.End()
 	if err != nil {
 		// Degenerate coarse point set (deep, tiny grids): stop coarsening
 		// here and let the previous level be solved directly.
@@ -240,6 +256,8 @@ func coarsenOnce(parent *Grid, level int, opts Options) (*Grid, error) {
 	// weights never couple displacement components (section 3).
 	nf := m.NumVerts()
 	nc := len(mis)
+	spb := obs.Start(evRestrict)
+	defer spb.End()
 	rb := sparse.NewBuilder(nc, nf)
 	lost := 0
 	keptSet := make(map[[4]int]bool, len(tets))

@@ -1,0 +1,16 @@
+package core
+
+import "prometheus/internal/obs"
+
+// Observability events for the coarsening pipeline, one per phase of
+// the section 4 algorithm: topological classification, the whole
+// per-level construction, the modified-graph MIS, the Delaunay remesh,
+// and the restriction-operator build.
+var (
+	evCoarsen  = obs.Register("core.coarsen")
+	evClassify = obs.Register("core.coarsen.classify")
+	evLevel    = obs.Register("core.coarsen.level")
+	evMIS      = obs.Register("core.coarsen.mis")
+	evRemesh   = obs.Register("core.coarsen.remesh")
+	evRestrict = obs.Register("core.coarsen.restrict")
+)

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"prometheus/internal/la"
+	"prometheus/internal/obs"
 	"prometheus/internal/sparse"
 )
 
@@ -40,6 +41,14 @@ func CG(a sparse.Operator, b, x []float64, rtol float64, maxIter int) Result {
 // the given x. Convergence is declared when ‖b - A·x‖₂ ≤ rtol·‖b‖₂ (the
 // paper's relative residual criterion).
 func PCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
+	sp := obs.Start(evPCG)
+	res := pcg(a, b, x, m, rtol, maxIter)
+	sp.EndFlops(res.Flops)
+	cIterations.Add(int64(res.Iterations))
+	return res
+}
+
+func pcg(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
 	n := a.Rows()
 	if m == nil {
 		m = identity{}
@@ -58,6 +67,7 @@ func PCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxI
 	}
 	rnorm := la.Norm2(r)
 	res.Residuals = append(res.Residuals, rnorm)
+	obs.RecordResidual(0, rnorm)
 	if rnorm <= rtol*bnorm {
 		res.Converged = true
 		return res
@@ -84,6 +94,7 @@ func PCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxI
 		res.Flops += 2 * int64(n)
 		res.Iterations++
 		res.Residuals = append(res.Residuals, rnorm)
+		obs.RecordResidual(res.Iterations, rnorm)
 		if rnorm <= rtol*bnorm {
 			res.Converged = true
 			return res
@@ -107,6 +118,14 @@ func PCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxI
 // preconditions with is such an operator. For a symmetric preconditioner
 // FPCG reproduces PCG at the cost of one extra stored vector.
 func FPCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
+	sp := obs.Start(evFPCG)
+	res := fpcg(a, b, x, m, rtol, maxIter)
+	sp.EndFlops(res.Flops)
+	cIterations.Add(int64(res.Iterations))
+	return res
+}
+
+func fpcg(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
 	n := a.Rows()
 	if m == nil {
 		m = identity{}
@@ -126,6 +145,7 @@ func FPCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, max
 	}
 	rnorm := la.Norm2(r)
 	res.Residuals = append(res.Residuals, rnorm)
+	obs.RecordResidual(0, rnorm)
 	if rnorm <= rtol*bnorm {
 		res.Converged = true
 		return res
@@ -151,6 +171,7 @@ func FPCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, max
 		res.Flops += 2 * int64(n)
 		res.Iterations++
 		res.Residuals = append(res.Residuals, rnorm)
+		obs.RecordResidual(res.Iterations, rnorm)
 		if rnorm <= rtol*bnorm {
 			res.Converged = true
 			return res
@@ -181,6 +202,14 @@ func FPCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, max
 
 // GMRES solves A·x = b with restarted GMRES(m) and left preconditioning.
 func GMRES(a sparse.Operator, b, x []float64, m Preconditioner, restart int, rtol float64, maxIter int) Result {
+	sp := obs.Start(evGMRES)
+	res := gmres(a, b, x, m, restart, rtol, maxIter)
+	sp.EndFlops(res.Flops)
+	cIterations.Add(int64(res.Iterations))
+	return res
+}
+
+func gmres(a sparse.Operator, b, x []float64, m Preconditioner, restart int, rtol float64, maxIter int) Result {
 	n := a.Rows()
 	if m == nil {
 		m = identity{}
@@ -217,7 +246,9 @@ func GMRES(a sparse.Operator, b, x []float64, m Preconditioner, restart int, rto
 		a.Residual(b, x, r)
 		res.Flops += a.MulVecFlops() + int64(n)
 		if len(res.Residuals) == 0 {
-			res.Residuals = append(res.Residuals, la.Norm2(r))
+			rn := la.Norm2(r)
+			res.Residuals = append(res.Residuals, rn)
+			obs.RecordResidual(0, rn)
 		}
 		m.Apply(r, z)
 		beta := la.Norm2(z)
@@ -270,6 +301,7 @@ func GMRES(a sparse.Operator, b, x []float64, m Preconditioner, restart int, rto
 			g[k] = cs[k] * g[k]
 			res.Iterations++
 			res.Residuals = append(res.Residuals, math.Abs(g[k+1]))
+			obs.RecordResidual(res.Iterations, math.Abs(g[k+1]))
 			if math.Abs(g[k+1]) <= rtol*bnorm {
 				k++
 				res.Converged = true

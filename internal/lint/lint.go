@@ -30,7 +30,11 @@
 //   - block-shape: a function holding a sparse.BlockBuilder must emit
 //     whole node blocks via AddBlock — scalar Builder.Add calls in the
 //     same scope break the uniform-block invariant the BSR kernels and
-//     the node-granular halo rely on.
+//     the node-granular halo rely on;
+//   - obs-discipline: obs event/metric names must be tree-unique string
+//     constants (never fmt.Sprintf), and every obs.Start span must be
+//     ended on all paths (End/EndFlops, deferred End, or the balanced
+//     obs.Start(id).End() chain).
 //
 // A finding can be suppressed in place with a directive comment on the
 // same line or the line above:
@@ -117,6 +121,7 @@ func DefaultRules() []Rule {
 		SendRecvMatch{},
 		MapOrder{},
 		BlockShape{},
+		&ObsDiscipline{},
 	}
 }
 

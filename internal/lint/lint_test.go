@@ -441,6 +441,7 @@ func TestDefaultRulesComplete(t *testing.T) {
 		"sendrecv-match":        true,
 		"map-order":             true,
 		"block-shape":           true,
+		"obs-discipline":        true,
 	}
 	names := make([]string, 0, len(want))
 	for _, r := range DefaultRules() {

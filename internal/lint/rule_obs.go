@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// obsPath is the import path of the observability package the rule
+// guards.
+const obsPath = "prometheus/internal/obs"
+
+// ObsDiscipline enforces the observability instrumentation contract:
+//
+//   - every obs.Register / NewCounter / NewGauge / NewHistogram call
+//     takes a constant string name — recording must never format names
+//     (no fmt.Sprintf), and constant names keep the registry allocation
+//     free;
+//   - names are unique across the whole tree, so every event row in a
+//     report names exactly one call site family;
+//   - a span returned by obs.Start/StartRank must be ended: the result
+//     must not be discarded (except the balanced obs.Start(x).End()
+//     chain), a span variable needs a matching End/EndFlops or a
+//     deferred End, and a return between a non-deferred Start/End pair
+//     leaves the span open on that path — use defer, or the
+//     wrapper-function pattern for bodies with early returns.
+//
+// The rule keeps cross-package state for the uniqueness check, so one
+// instance must see every package of a run (Run handles this). The obs
+// package itself is exempt: its internals and tests exercise the edge
+// cases deliberately.
+type ObsDiscipline struct {
+	seen map[string]token.Position // name -> first registration site
+}
+
+// Name implements Rule.
+func (r *ObsDiscipline) Name() string { return "obs-discipline" }
+
+// Check implements Rule.
+func (r *ObsDiscipline) Check(pkg *Package) []Issue {
+	if pkg.Path == obsPath {
+		return nil
+	}
+	if r.seen == nil {
+		r.seen = make(map[string]token.Position)
+	}
+	var out []Issue
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := obsCallee(pkg, call)
+			switch fn {
+			case "Register", "NewCounter", "NewGauge", "NewHistogram":
+			default:
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			tv := pkg.Info.Types[call.Args[0]]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				out = append(out, issue(pkg, call.Args[0], r.Name(), Error,
+					"obs.%s name must be a constant string, not a computed value", fn))
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if first, dup := r.seen[name]; dup {
+				out = append(out, issue(pkg, call, r.Name(), Error,
+					"obs name %q already registered at %s; names must be unique across the tree", name, first))
+			} else {
+				r.seen[name] = pkg.Fset.Position(call.Pos())
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, r.checkSpans(pkg, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// spanState tracks one span variable's Start/End sites in a function.
+type spanState struct {
+	ident    *ast.Ident
+	start    token.Pos
+	ends     int
+	deferred bool
+	lastEnd  token.Pos
+}
+
+// checkSpans verifies every span opened in the function is closed on
+// all paths.
+func (r *ObsDiscipline) checkSpans(pkg *Package, fd *ast.FuncDecl) []Issue {
+	var out []Issue
+
+	// Calls that appear directly under a defer statement.
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	spans := make(map[*types.Var]*spanState)
+	var returns []token.Pos
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, st.Pos())
+
+		case *ast.ExprStmt:
+			// A bare obs.Start(...) statement discards the span.
+			if call, ok := st.X.(*ast.CallExpr); ok && isSpanStart(pkg, call) {
+				out = append(out, issue(pkg, call, r.Name(), Error,
+					"obs.Start result discarded; assign the span and End it (or chain obs.Start(id).End())"))
+			}
+
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 || len(st.Lhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok || !isSpanStart(pkg, call) {
+				return true
+			}
+			id, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				out = append(out, issue(pkg, st, r.Name(), Error,
+					"obs span must be a local variable so its End is checkable"))
+				return true
+			}
+			var v *types.Var
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				v, _ = obj.(*types.Var)
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				v, _ = obj.(*types.Var)
+			}
+			if v == nil {
+				out = append(out, issue(pkg, st, r.Name(), Error,
+					"obs.Start result discarded; assign the span to a variable and End it"))
+				return true
+			}
+			if sp, ok := spans[v]; ok {
+				// Reassignment reuses the variable; keep the first start.
+				sp.ident = id
+				return true
+			}
+			spans[v] = &spanState{ident: id, start: st.Pos()}
+
+		case *ast.CallExpr:
+			fn := obsCallee(pkg, st)
+			if fn != "End" && fn != "EndFlops" {
+				return true
+			}
+			sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				// obs.Start(id).End() chains are balanced by construction.
+				return true
+			}
+			v, _ := pkg.Info.Uses[recv].(*types.Var)
+			if v == nil {
+				return true
+			}
+			sp, ok := spans[v]
+			if !ok {
+				return true
+			}
+			sp.ends++
+			if deferred[st] {
+				sp.deferred = true
+			}
+			if st.End() > sp.lastEnd {
+				sp.lastEnd = st.End()
+			}
+		}
+		return true
+	})
+
+	for _, sp := range spans {
+		if sp.ends == 0 {
+			out = append(out, issue(pkg, sp.ident, r.Name(), Error,
+				"obs span %s is never ended; call %s.End()/EndFlops or defer it", sp.ident.Name, sp.ident.Name))
+			continue
+		}
+		if sp.deferred {
+			continue
+		}
+		for _, ret := range returns {
+			if ret > sp.start && ret < sp.lastEnd {
+				out = append(out, issue(pkg, sp.ident, r.Name(), Error,
+					"return between obs.Start and %s.End leaves the span open on that path; defer the End or use a span-free body function", sp.ident.Name))
+				break
+			}
+		}
+	}
+	sortIssues(out)
+	return out
+}
+
+// obsCallee returns the name of the obs package function or method a
+// call invokes, or "" when the callee is not from the obs package.
+func obsCallee(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+		return ""
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isSpanStart reports whether the call is obs.Start or obs.StartRank.
+func isSpanStart(pkg *Package, call *ast.CallExpr) bool {
+	fn := obsCallee(pkg, call)
+	return fn == "Start" || fn == "StartRank"
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeObs is the fixture stand-in for the obs package, type-checked
+// under the real import path so obs-discipline fixtures exercise the
+// rule's callee resolution.
+var fakeObs = fixtureDep{path: "prometheus/internal/obs", src: `package obs
+
+// EventID identifies a registered event.
+type EventID int32
+
+// Span is an open interval.
+type Span struct{ rank int32 }
+
+// End closes the span.
+func (s Span) End() {}
+
+// EndFlops closes the span, crediting flops.
+func (s Span) EndFlops(flops int64) {}
+
+// Register interns an event name.
+func Register(name string) EventID { return 0 }
+
+// Start opens a span on rank 0.
+func Start(id EventID) Span { return Span{} }
+
+// StartRank opens a span on a rank.
+func StartRank(id EventID, rank int) Span { return Span{} }
+
+// Counter is a monotonic metric.
+type Counter struct{}
+
+// Add increments.
+func (c *Counter) Add(n int64) {}
+
+// NewCounter registers a counter.
+func NewCounter(name string) *Counter { return &Counter{} }
+
+// Gauge is a last-value metric.
+type Gauge struct{}
+
+// NewGauge registers a gauge.
+func NewGauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram is a distribution metric.
+type Histogram struct{}
+
+// NewHistogram registers a histogram.
+func NewHistogram(name string) *Histogram { return &Histogram{} }
+`}
+
+func TestObsDisciplineNames(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{fakeObs}, `package fixture
+
+import (
+	"fmt"
+
+	"prometheus/internal/obs"
+)
+
+const suffix = "spmv"
+
+var (
+	evGood  = obs.Register("fixture.good")      // constant: fine
+	evConst = obs.Register("fixture." + suffix) // constant expression: fine
+	cGood   = obs.NewCounter("fixture.counter") // fine
+	evDup   = obs.Register("fixture.good")      // line 15: duplicate name
+)
+
+func dynamic(i int) obs.EventID {
+	id := obs.Register(fmt.Sprintf("fixture.ev%d", i)) // line 19: computed name
+	name := "fixture.var"
+	_ = obs.NewGauge(name + fmt.Sprintf("%d", i)) // line 21: computed name
+	return id
+}
+`)
+	got := Run([]*Package{pkg}, []Rule{&ObsDiscipline{}})
+	if !sameLines(got, 15, 19, 21) {
+		t.Fatalf("obs-discipline fired on lines %v, want [15 19 21]\n%v", lines(got), got)
+	}
+	if !strings.Contains(got[0].Msg, "already registered") {
+		t.Fatalf("duplicate finding should name the first site: %s", got[0].Msg)
+	}
+	for _, iss := range got {
+		if iss.Rule != "obs-discipline" || iss.Severity != Error {
+			t.Fatalf("bad issue metadata: %+v", iss)
+		}
+	}
+}
+
+func TestObsDisciplineCrossPackageNames(t *testing.T) {
+	// Two packages registering the same name: the second is flagged
+	// because one rule instance carries the registry across packages.
+	rule := &ObsDiscipline{}
+	first := checkFixtureWith(t, []fixtureDep{fakeObs}, `package fixture
+
+import "prometheus/internal/obs"
+
+var evA = obs.Register("shared.name")
+`)
+	if got := Run([]*Package{first}, []Rule{rule}); len(got) != 0 {
+		t.Fatalf("first registration flagged: %v", got)
+	}
+	second := checkFixtureWith(t, []fixtureDep{fakeObs}, `package fixture
+
+import "prometheus/internal/obs"
+
+var evB = obs.Register("shared.name") // line 5: duplicate across packages
+`)
+	got := Run([]*Package{second}, []Rule{rule})
+	if !sameLines(got, 5) {
+		t.Fatalf("cross-package duplicate not flagged: %v", got)
+	}
+}
+
+func TestObsDisciplineSpans(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{fakeObs}, `package fixture
+
+import "prometheus/internal/obs"
+
+var ev = obs.Register("fixture.span")
+
+func balanced() {
+	sp := obs.Start(ev)
+	sp.EndFlops(10) // matching end: fine
+}
+
+func chained() {
+	obs.Start(ev).End() // balanced chain: fine
+}
+
+func deferred() (int, error) {
+	sp := obs.Start(ev)
+	defer sp.End() // deferred: fine with any returns
+	if true {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func deferredChain() {
+	defer obs.Start(ev).End() // fine
+}
+
+func discarded() {
+	obs.Start(ev) // line 30: span discarded
+}
+
+func leaked() {
+	sp := obs.Start(ev) // line 34: never ended
+	_ = sp
+}
+
+func escapes(fail bool) error {
+	sp := obs.Start(ev) // line 39: return escapes the open span
+	if fail {
+		return nil
+	}
+	sp.End()
+	return nil
+}
+
+func wrapper() int {
+	sp := obs.Start(ev)
+	n := body()
+	sp.End()
+	return n // return after End: fine
+}
+
+func body() int {
+	if true {
+		return 1
+	}
+	return 0
+}
+
+func ranked(r int) {
+	sp := obs.StartRank(ev, r)
+	sp.End()
+}
+`)
+	got := Run([]*Package{pkg}, []Rule{&ObsDiscipline{}})
+	if !sameLines(got, 30, 34, 39) {
+		t.Fatalf("obs-discipline fired on lines %v, want [30 34 39]\n%v", lines(got), got)
+	}
+}
+
+// TestObsDisciplineSuppression checks the rule participates in the
+// standard promlint:ignore machinery.
+func TestObsDisciplineSuppression(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{fakeObs}, `package fixture
+
+import "prometheus/internal/obs"
+
+var ev = obs.Register("fixture.sup")
+
+func leaky() {
+	//promlint:ignore obs-discipline span handed to test harness deliberately
+	obs.Start(ev)
+}
+`)
+	kept, suppressed := RunAll([]*Package{pkg}, []Rule{&ObsDiscipline{}})
+	if len(kept) != 0 || len(suppressed) != 1 {
+		t.Fatalf("kept %v suppressed %v, want 0/1", kept, suppressed)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"prometheus/internal/direct"
 	"prometheus/internal/graph"
 	"prometheus/internal/la"
+	"prometheus/internal/obs"
 	"prometheus/internal/smooth"
 	"prometheus/internal/sparse"
 )
@@ -256,6 +257,18 @@ func opSymmetric(a sparse.Operator, tol float64) bool {
 // restrictions[l] maps level l dofs to level l+1 dofs, already aligned with
 // fineA's dof numbering on level 0.
 func New(fineA sparse.Operator, restrictions []*sparse.CSR, opts Options) (*MG, error) {
+	sp := obs.Start(evSetup)
+	mg, err := newMG(fineA, restrictions, opts)
+	sp.End()
+	if mg != nil {
+		for li, lvl := range mg.Levels {
+			obs.RecordLevel(li, lvl.A.Rows(), lvl.A.NNZ(), storageName(lvl.A))
+		}
+	}
+	return mg, err
+}
+
+func newMG(fineA sparse.Operator, restrictions []*sparse.CSR, opts Options) (*MG, error) {
 	opts = opts.withDefaults()
 	if fineA.Rows() != fineA.Cols() {
 		return nil, errors.New("multigrid: fine operator must be square")
@@ -279,12 +292,14 @@ func New(fineA sparse.Operator, restrictions []*sparse.CSR, opts Options) (*MG, 
 		// The blocked Galerkin product accumulates each scalar entry in the
 		// same order as the scalar one, so a BSR hierarchy is bitwise equal
 		// to the CSR hierarchy it replaces (iteration counts included).
+		spg := obs.Start(evGalerkin)
 		var ac sparse.Operator
 		if _, blocked := a.(*sparse.BSR); blocked {
 			ac = fixEmptyRowsOp(sparse.GalerkinBSR(r, a))
 		} else {
 			ac = fixEmptyRows(sparse.Galerkin(r, a.(*sparse.CSR)))
 		}
+		spg.End()
 		// Galerkin product cost estimate: ~2 flops per multiply-add over
 		// the row-merge; use 4·nnz(A)·avg row of R as a proxy.
 		mg.SetupFlops += 4 * int64(ac.NNZ())
@@ -396,7 +411,9 @@ func (mg *MG) wcycle(l int, b, x []float64) { mg.cycle(l, b, x, 2) }
 func (mg *MG) cycle(l int, b, x []float64, gamma int) {
 	lvl := mg.Levels[l]
 	if lvl.Direct != nil {
+		spd := obs.Start(evCoarse)
 		lvl.Direct.Solve(b, x)
+		spd.EndFlops(lvl.Direct.SolveFlops())
 		mg.CycleFlops += lvl.Direct.SolveFlops()
 		lvl.Work += lvl.Direct.SolveFlops()
 		return
@@ -444,7 +461,9 @@ func (mg *MG) fmg(b, x []float64) {
 	// Coarsest solve.
 	last := mg.Levels[n-1]
 	if last.Direct != nil {
+		spd := obs.Start(evCoarse)
 		last.Direct.Solve(last.b, last.x)
+		spd.EndFlops(last.Direct.SolveFlops())
 		mg.CycleFlops += last.Direct.SolveFlops()
 		last.Work += last.Direct.SolveFlops()
 	} else {
@@ -468,6 +487,13 @@ func (mg *MG) fmg(b, x []float64) {
 // Apply implements krylov.Preconditioner: z approximates A⁻¹·r with one
 // multigrid cycle.
 func (mg *MG) Apply(r, z []float64) {
+	sp := obs.Start(evApply)
+	cApplies.Inc()
+	mg.apply(r, z)
+	sp.End()
+}
+
+func (mg *MG) apply(r, z []float64) {
 	mg.Applies++
 	switch mg.Opts.Cycle {
 	case VCycle:

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the live profile under the expvar variable
+// "prometheus_obs" (served at /debug/vars by net/http once a server
+// runs). Each scrape takes a fresh Snapshot, so long-running solves
+// can be watched without stopping them. Idempotent.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("prometheus_obs", expvar.Func(func() any {
+			return Snapshot()
+		}))
+	})
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (V-cycle applies,
+// Krylov iterations, halo exchanges). Updates are atomic and only
+// recorded while obs is enabled, so an instrumented hot path costs one
+// atomic load when profiling is off.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n when recording is enabled.
+func (c *Counter) Add(n int64) {
+	if on.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one when recording is enabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a last-value metric (per-level rows, active ranks).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set records the value when recording is enabled.
+func (g *Gauge) Set(v int64) {
+	if on.Load() {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket
+// i counts observations v with bit length i, i.e. v in [2^(i-1), 2^i).
+const histBuckets = 64
+
+// Histogram is a log2-bucketed distribution (message sizes). Fixed
+// bucket count, atomic updates, no allocation per observation.
+type Histogram struct {
+	name    string
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	n       atomic.Int64
+}
+
+// Observe records one sample when recording is enabled. Negative
+// samples land in bucket 0.
+func (h *Histogram) Observe(v int64) {
+	if !on.Load() {
+		return
+	}
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.buckets[b].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Name returns the registered name.
+func (h *Histogram) Name() string { return h.name }
+
+var (
+	counters   []*Counter
+	gauges     []*Gauge
+	histograms []*Histogram
+	metricIdx  map[string]int // name -> kind-local index, kind in high bits
+)
+
+const (
+	kindCounter = iota << 28
+	kindGauge
+	kindHistogram
+	metricKindMask = 3 << 28
+	metricIdxMask  = 1<<28 - 1
+)
+
+// NewCounter registers (or returns the existing) counter under name.
+// Names share one namespace with gauges, histograms and events; the
+// obs-discipline lint rule keeps them package-unique string constants.
+func NewCounter(name string) *Counter {
+	mu.Lock()
+	defer mu.Unlock()
+	if i, ok := metricIdx[name]; ok && i&metricKindMask == kindCounter {
+		return counters[i&metricIdxMask]
+	}
+	c := &Counter{name: name}
+	registerMetricLocked(name, kindCounter|len(counters))
+	counters = append(counters, c)
+	return c
+}
+
+// NewGauge registers (or returns the existing) gauge under name.
+func NewGauge(name string) *Gauge {
+	mu.Lock()
+	defer mu.Unlock()
+	if i, ok := metricIdx[name]; ok && i&metricKindMask == kindGauge {
+		return gauges[i&metricIdxMask]
+	}
+	g := &Gauge{name: name}
+	registerMetricLocked(name, kindGauge|len(gauges))
+	gauges = append(gauges, g)
+	return g
+}
+
+// NewHistogram registers (or returns the existing) histogram under name.
+func NewHistogram(name string) *Histogram {
+	mu.Lock()
+	defer mu.Unlock()
+	if i, ok := metricIdx[name]; ok && i&metricKindMask == kindHistogram {
+		return histograms[i&metricIdxMask]
+	}
+	h := &Histogram{name: name}
+	registerMetricLocked(name, kindHistogram|len(histograms))
+	histograms = append(histograms, h)
+	return h
+}
+
+func registerMetricLocked(name string, idx int) {
+	if metricIdx == nil {
+		metricIdx = make(map[string]int)
+	}
+	if _, dup := metricIdx[name]; dup {
+		panic("obs: metric name registered with two kinds: " + name)
+	}
+	metricIdx[name] = idx
+}
+
+func resetMetricsLocked() {
+	for _, c := range counters {
+		c.v.Store(0)
+	}
+	for _, g := range gauges {
+		g.v.Store(0)
+	}
+	for _, h := range histograms {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.n.Store(0)
+	}
+}
+
+// ResidualPoint is one entry of the Krylov convergence history.
+type ResidualPoint struct {
+	Iter int     `json:"iter"`
+	Norm float64 `json:"norm"`
+	TNs  int64   `json:"t_ns"`
+}
+
+var (
+	resid    []ResidualPoint // preallocated by Enable
+	residPos atomic.Int64
+)
+
+// RecordResidual appends one Krylov residual norm to the convergence
+// history. Allocation-free: the history buffer is preallocated at
+// Enable and overflow is counted as dropped on rank 0.
+func RecordResidual(iter int, norm float64) {
+	if !on.Load() {
+		return
+	}
+	p := residPos.Add(1) - 1
+	if p >= int64(len(resid)) {
+		dropped[0].Add(1)
+		return
+	}
+	resid[p] = ResidualPoint{Iter: iter, Norm: norm, TNs: now()}
+}
+
+// LevelInfo describes one multigrid level's operator as built.
+type LevelInfo struct {
+	Level   int    `json:"level"`
+	Rows    int    `json:"rows"`
+	NNZ     int    `json:"nnz"`
+	Storage string `json:"storage"`
+}
+
+var levels []LevelInfo
+
+// RecordLevel records a multigrid level's size and storage kind.
+// Setup-path only (takes the registry lock); not for hot loops.
+func RecordLevel(level, rows, nnz int, storage string) {
+	if !on.Load() {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range levels {
+		if levels[i].Level == level {
+			levels[i] = LevelInfo{Level: level, Rows: rows, NNZ: nnz, Storage: storage}
+			return
+		}
+	}
+	levels = append(levels, LevelInfo{Level: level, Rows: rows, NNZ: nnz, Storage: storage})
+}

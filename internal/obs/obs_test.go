@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Test events and metrics; names are package-unique constants as the
+// obs-discipline lint requires.
+var (
+	testEvA = Register("obstest.a")
+	testEvB = Register("obstest.b")
+
+	testCounter = NewCounter("obstest.counter")
+	testGauge   = NewGauge("obstest.gauge")
+	testHist    = NewHistogram("obstest.hist")
+)
+
+func TestRegisterIdempotent(t *testing.T) {
+	if id := Register("obstest.a"); id != testEvA {
+		t.Fatalf("re-registering returned %d, want %d", id, testEvA)
+	}
+	if testEvA == testEvB {
+		t.Fatalf("distinct names share ID %d", testEvA)
+	}
+	if c := NewCounter("obstest.counter"); c != testCounter {
+		t.Fatalf("re-registering counter returned a new instance")
+	}
+}
+
+func TestMetricKindCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering a counter name as a gauge did not panic")
+		}
+	}()
+	NewGauge("obstest.counter")
+}
+
+func TestDisabledRecordingIsInert(t *testing.T) {
+	Disable()
+	Reset()
+	sp := Start(testEvA)
+	sp.EndFlops(100)
+	testCounter.Add(5)
+	testHist.Observe(9)
+	RecordResidual(0, 1.0)
+	Enable()
+	defer Disable()
+	p := Snapshot()
+	if _, ok := p.Event("obstest.a"); ok {
+		t.Fatalf("disabled span was recorded")
+	}
+	if p.Counter("obstest.counter") != 0 {
+		t.Fatalf("disabled counter add was recorded")
+	}
+	if len(p.Residuals) != 0 {
+		t.Fatalf("disabled residual was recorded")
+	}
+}
+
+func TestSpanAccumulation(t *testing.T) {
+	EnableWith(Config{Ranks: 4, RingCap: 64})
+	defer Disable()
+
+	for i := 0; i < 3; i++ {
+		sp := StartRank(testEvA, 1)
+		inner := StartRank(testEvB, 1)
+		inner.End()
+		sp.EndFlops(10)
+	}
+	AddComm(testEvA, 1, 2, 100)
+	AddFlops(testEvA, 3, 7)
+
+	p := Snapshot()
+	e, ok := p.Event("obstest.a")
+	if !ok {
+		t.Fatalf("event obstest.a missing from snapshot")
+	}
+	if p.Ranks != 4 {
+		t.Fatalf("Ranks = %d, want 4 (rank 3 recorded flops)", p.Ranks)
+	}
+	st := e.PerRank[1]
+	if st.Count != 3 || st.Flops != 30 || st.Msgs != 2 || st.Bytes != 100 {
+		t.Fatalf("rank 1 stats = %+v, want count 3, flops 30, msgs 2, bytes 100", st)
+	}
+	if st.TimeNs <= 0 {
+		t.Fatalf("rank 1 time = %d, want > 0", st.TimeNs)
+	}
+	if e.PerRank[3].Flops != 7 {
+		t.Fatalf("rank 3 flops = %d, want 7", e.PerRank[3].Flops)
+	}
+	tot := e.Totals()
+	if tot.Flops != 37 {
+		t.Fatalf("total flops = %d, want 37", tot.Flops)
+	}
+
+	// The nested span must carry depth 1 in the trace.
+	foundNested := false
+	for _, s := range p.Spans {
+		if s.Name == "obstest.b" && s.Depth == 1 && s.Rank == 1 {
+			foundNested = true
+		}
+	}
+	if !foundNested {
+		t.Fatalf("nested obstest.b span with depth 1 missing from %d spans", len(p.Spans))
+	}
+
+	// The perf bridge shape.
+	flops, msgs, bytesC, ok := p.PerRank("obstest.a")
+	if !ok || len(flops) != 4 {
+		t.Fatalf("PerRank: ok=%v len=%d, want 4 ranks", ok, len(flops))
+	}
+	if flops[1] != 30 || msgs[1] != 2 || bytesC[1] != 100 {
+		t.Fatalf("PerRank rank 1 = %d/%d/%d, want 30/2/100", flops[1], msgs[1], bytesC[1])
+	}
+}
+
+func TestRingOverflowCountsDropped(t *testing.T) {
+	EnableWith(Config{Ranks: 1, RingCap: 4})
+	defer Disable()
+	for i := 0; i < 10; i++ {
+		Start(testEvA).End()
+	}
+	p := Snapshot()
+	if len(p.Spans) != 4 {
+		t.Fatalf("spans = %d, want ring cap 4", len(p.Spans))
+	}
+	if p.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", p.Dropped)
+	}
+	e, _ := p.Event("obstest.a")
+	if e.PerRank[0].Count != 10 {
+		t.Fatalf("stats count = %d, want all 10 despite ring overflow", e.PerRank[0].Count)
+	}
+}
+
+func TestMetricsAndResiduals(t *testing.T) {
+	EnableWith(Config{ResidCap: 8})
+	defer Disable()
+
+	testCounter.Add(3)
+	testCounter.Inc()
+	testGauge.Set(42)
+	testHist.Observe(5) // bit length 3
+	testHist.Observe(7) // bit length 3
+	RecordResidual(0, 1.0)
+	RecordResidual(1, 0.5)
+	RecordLevel(0, 100, 1000, "csr")
+	RecordLevel(1, 30, 300, "bsr")
+	RecordLevel(1, 31, 301, "bsr") // overwrite
+
+	p := Snapshot()
+	if p.Counter("obstest.counter") != 4 {
+		t.Fatalf("counter = %d, want 4", p.Counter("obstest.counter"))
+	}
+	var g int64
+	for _, m := range p.Gauges {
+		if m.Name == "obstest.gauge" {
+			g = m.Value
+		}
+	}
+	if g != 42 {
+		t.Fatalf("gauge = %d, want 42", g)
+	}
+	var hv *HistogramValue
+	for i := range p.Histograms {
+		if p.Histograms[i].Name == "obstest.hist" {
+			hv = &p.Histograms[i]
+		}
+	}
+	if hv == nil || hv.Count != 2 || hv.Sum != 12 || hv.Buckets[3] != 2 {
+		t.Fatalf("histogram = %+v, want count 2, sum 12, bucket[3]=2", hv)
+	}
+	if len(p.Residuals) != 2 || p.Residuals[1].Norm != 0.5 {
+		t.Fatalf("residuals = %+v", p.Residuals)
+	}
+	if len(p.Levels) != 2 || p.Levels[1].Rows != 31 {
+		t.Fatalf("levels = %+v, want overwrite of level 1", p.Levels)
+	}
+
+	// Reset clears everything but keeps registrations.
+	Reset()
+	p = Snapshot()
+	if p.Counter("obstest.counter") != 0 || len(p.Residuals) != 0 || len(p.Levels) != 0 {
+		t.Fatalf("reset left data behind: %+v", p)
+	}
+}
+
+func TestReporters(t *testing.T) {
+	EnableWith(Config{})
+	defer Disable()
+	sp := Start(testEvA)
+	sp.EndFlops(1000)
+	AddComm(testEvA, 0, 3, 123)
+	testCounter.Add(2)
+	RecordResidual(0, 1.0)
+	RecordResidual(1, 1e-6)
+	RecordLevel(0, 10, 50, "csr")
+	p := Snapshot()
+
+	var lv bytes.Buffer
+	if err := p.WriteLogView(&lv); err != nil {
+		t.Fatalf("WriteLogView: %v", err)
+	}
+	out := lv.String()
+	for _, want := range []string{"obstest.a", "Mflop/s", "obstest.counter", "Convergence", "level"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log view missing %q:\n%s", want, out)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := p.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Profile
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("profile JSON does not round-trip: %v", err)
+	}
+	if back.Counter("obstest.counter") != 2 {
+		t.Fatalf("round-tripped counter = %d, want 2", back.Counter("obstest.counter"))
+	}
+
+	var tr bytes.Buffer
+	if err := p.WriteChromeTrace(&tr); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(tr.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if chrome.DisplayTimeUnit != "ms" || len(chrome.TraceEvents) == 0 {
+		t.Fatalf("chrome trace = unit %q, %d events", chrome.DisplayTimeUnit, len(chrome.TraceEvents))
+	}
+	if ev := chrome.TraceEvents[0]; ev.Ph != "X" || ev.Name == "" {
+		t.Fatalf("chrome event = %+v, want complete-event ph X", ev)
+	}
+}
+
+func TestOutOfRangeRankIsSafe(t *testing.T) {
+	EnableWith(Config{Ranks: 2})
+	defer Disable()
+	StartRank(testEvA, -1).End()
+	StartRank(testEvA, MaxRanks).EndFlops(5)
+	AddFlops(testEvA, MaxRanks+3, 5)
+	AddComm(testEvA, -2, 1, 1)
+	p := Snapshot()
+	if e, ok := p.Event("obstest.a"); ok {
+		t.Fatalf("out-of-range ranks recorded stats: %+v", e)
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteLogView renders the profile as a PETSc -log_view-style event
+// table: per event the call count, max and average per-rank time, the
+// max/avg load imbalance ratio, total flops and the achieved Mflop/s
+// (total flops over the slowest rank's time), message count, bytes,
+// and the share of total wall time. Events print in decreasing
+// max-time order. Report paths may allocate freely — only recording
+// is allocation-bound.
+func (p *Profile) WriteLogView(w io.Writer) error {
+	evs := make([]EventProfile, len(p.Events))
+	copy(evs, p.Events)
+	sort.SliceStable(evs, func(i, j int) bool {
+		return evs[i].MaxTimeNs() > evs[j].MaxTimeNs()
+	})
+
+	if _, err := fmt.Fprintf(w, "Event log (%d ranks, %.4gs total):\n", p.Ranks, float64(p.TotalNs)/1e9); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-26s %8s %10s %10s %6s %12s %9s %8s %12s %5s\n",
+		"Event", "Count", "Max(s)", "Avg(s)", "Ratio", "Flops", "Mflop/s", "Msgs", "Bytes", "%T")
+	for i := range evs {
+		e := &evs[i]
+		t := e.Totals()
+		maxNs := e.MaxTimeNs()
+		avgNs := float64(t.TimeNs) / float64(len(e.PerRank))
+		ratio := 0.0
+		if avgNs > 0 {
+			ratio = float64(maxNs) / avgNs
+		}
+		mflops := 0.0
+		if maxNs > 0 {
+			mflops = float64(t.Flops) / float64(maxNs) * 1e9 / 1e6
+		}
+		pct := 0.0
+		if p.TotalNs > 0 {
+			pct = 100 * float64(maxNs) / float64(p.TotalNs)
+		}
+		fmt.Fprintf(w, "%-26s %8d %10.4g %10.4g %6.2f %12d %9.0f %8d %12d %5.1f\n",
+			e.Name, t.Count, float64(maxNs)/1e9, avgNs/1e9, ratio, t.Flops, mflops, t.Msgs, t.Bytes, pct)
+	}
+
+	if len(p.Levels) > 0 {
+		fmt.Fprintf(w, "\nGrid levels:\n%-6s %10s %12s %8s\n", "level", "rows", "nnz", "storage")
+		for _, l := range p.Levels {
+			fmt.Fprintf(w, "%-6d %10d %12d %8s\n", l.Level, l.Rows, l.NNZ, l.Storage)
+		}
+	}
+	if len(p.Counters) > 0 || len(p.Gauges) > 0 {
+		fmt.Fprintf(w, "\nCounters:\n")
+		for _, c := range p.Counters {
+			fmt.Fprintf(w, "%-30s %12d\n", c.Name, c.Value)
+		}
+		for _, g := range p.Gauges {
+			fmt.Fprintf(w, "%-30s %12d (gauge)\n", g.Name, g.Value)
+		}
+	}
+	if n := len(p.Residuals); n > 0 {
+		first, last := p.Residuals[0], p.Residuals[n-1]
+		fmt.Fprintf(w, "\nConvergence: %d recorded iterations, |r| %.3e -> %.3e\n", n, first.Norm, last.Norm)
+	}
+	if p.Dropped > 0 {
+		fmt.Fprintf(w, "\nWARNING: %d trace samples dropped (capture buffers full); stats above remain exact.\n", p.Dropped)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteJSON writes the full profile as indented JSON.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// chromeEvent is one trace_event entry: a complete ("X") duration
+// event with microsecond timestamps, pid 0, and the rank as tid so
+// chrome://tracing (or Perfetto) shows one timeline row per rank.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the captured spans in Chrome trace_event
+// JSON format, loadable in chrome://tracing or https://ui.perfetto.dev.
+func (p *Profile) WriteChromeTrace(w io.Writer) error {
+	evs := make([]chromeEvent, 0, len(p.Spans))
+	for _, s := range p.Spans {
+		evs = append(evs, chromeEvent{
+			Name: s.Name,
+			Cat:  "obs",
+			Ph:   "X",
+			Ts:   float64(s.StartNs) / 1e3,
+			Dur:  float64(s.DurNs) / 1e3,
+			Pid:  0,
+			Tid:  s.Rank,
+			Args: map[string]any{"depth": s.Depth},
+		})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

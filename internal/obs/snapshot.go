@@ -1,0 +1,225 @@
+package obs
+
+// RankStats is one event's accumulated totals on one rank.
+type RankStats struct {
+	TimeNs int64 `json:"time_ns"`
+	Count  int64 `json:"count"`
+	Flops  int64 `json:"flops"`
+	Msgs   int64 `json:"msgs"`
+	Bytes  int64 `json:"bytes"`
+}
+
+// EventProfile is one event's stats across all active ranks.
+// PerRank has one row per rank (length Profile.Ranks).
+type EventProfile struct {
+	Name    string      `json:"name"`
+	PerRank []RankStats `json:"per_rank"`
+}
+
+// active reports whether the event recorded anything.
+func (e *EventProfile) active() bool {
+	for _, r := range e.PerRank {
+		if r.Count != 0 || r.Msgs != 0 || r.Flops != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Totals sums the per-rank rows.
+func (e *EventProfile) Totals() RankStats {
+	var t RankStats
+	for _, r := range e.PerRank {
+		t.TimeNs += r.TimeNs
+		t.Count += r.Count
+		t.Flops += r.Flops
+		t.Msgs += r.Msgs
+		t.Bytes += r.Bytes
+	}
+	return t
+}
+
+// MaxTimeNs returns the slowest rank's accumulated time.
+func (e *EventProfile) MaxTimeNs() int64 {
+	var m int64
+	for _, r := range e.PerRank {
+		if r.TimeNs > m {
+			m = r.TimeNs
+		}
+	}
+	return m
+}
+
+// MetricValue is one counter or gauge reading.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one histogram's non-empty buckets. Bucket i counts
+// observations with bit length i (v in [2^(i-1), 2^i)).
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// TraceSpan is one completed span in the capture buffer, exported for
+// the Chrome trace writer and JSON profiles.
+type TraceSpan struct {
+	Name    string `json:"name"`
+	Rank    int    `json:"rank"`
+	Depth   int    `json:"depth"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// Profile is an immutable copy of everything recorded since the last
+// Enable/Reset. Reporters and the perf bridge consume it; taking a
+// snapshot does not disturb ongoing recording.
+type Profile struct {
+	// TotalNs is the wall time from the profile epoch to the snapshot.
+	TotalNs int64 `json:"total_ns"`
+	// Ranks is the number of ranks that recorded anything (min 1).
+	Ranks      int              `json:"ranks"`
+	Events     []EventProfile   `json:"events"`
+	Counters   []MetricValue    `json:"counters,omitempty"`
+	Gauges     []MetricValue    `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+	Residuals  []ResidualPoint  `json:"residuals,omitempty"`
+	Levels     []LevelInfo      `json:"levels,omitempty"`
+	Spans      []TraceSpan      `json:"spans,omitempty"`
+	// Dropped counts spans and residual points lost to full capture
+	// buffers. Non-zero means the trace is truncated — never silent.
+	Dropped int64 `json:"dropped"`
+}
+
+// Snapshot copies all recorded data into a Profile.
+func Snapshot() *Profile {
+	mu.Lock()
+	defer mu.Unlock()
+
+	p := &Profile{TotalNs: now()}
+
+	// Active rank count: one past the highest rank with any activity.
+	nr := 1
+	for e := range names {
+		for r := 0; r < MaxRanks; r++ {
+			st := &stats[e][r]
+			if (st.count.Load() != 0 || st.msgs.Load() != 0 || st.flops.Load() != 0) && r+1 > nr {
+				nr = r + 1
+			}
+		}
+	}
+	p.Ranks = nr
+
+	for e, name := range names {
+		ep := EventProfile{Name: name, PerRank: make([]RankStats, nr)}
+		for r := 0; r < nr; r++ {
+			st := &stats[e][r]
+			ep.PerRank[r] = RankStats{
+				TimeNs: st.timeNs.Load(),
+				Count:  st.count.Load(),
+				Flops:  st.flops.Load(),
+				Msgs:   st.msgs.Load(),
+				Bytes:  st.bytes.Load(),
+			}
+		}
+		if ep.active() {
+			p.Events = append(p.Events, ep)
+		}
+	}
+
+	for _, c := range counters {
+		if v := c.Value(); v != 0 {
+			p.Counters = append(p.Counters, MetricValue{Name: c.name, Value: v})
+		}
+	}
+	for _, g := range gauges {
+		if v := g.Value(); v != 0 {
+			p.Gauges = append(p.Gauges, MetricValue{Name: g.name, Value: v})
+		}
+	}
+	for _, h := range histograms {
+		n := h.n.Load()
+		if n == 0 {
+			continue
+		}
+		hv := HistogramValue{Name: h.name, Count: n, Sum: h.sum.Load(), Buckets: map[int]int64{}}
+		for b := range h.buckets {
+			if c := h.buckets[b].Load(); c != 0 {
+				hv.Buckets[b] = c
+			}
+		}
+		p.Histograms = append(p.Histograms, hv)
+	}
+
+	if n := residPos.Load(); n > 0 {
+		if n > int64(len(resid)) {
+			n = int64(len(resid))
+		}
+		p.Residuals = append(p.Residuals, resid[:n]...)
+	}
+	p.Levels = append(p.Levels, levels...)
+
+	for r := range rings {
+		n := ringPos[r].Load()
+		if n > int64(len(rings[r])) {
+			n = int64(len(rings[r]))
+		}
+		for _, te := range rings[r][:n] {
+			p.Spans = append(p.Spans, TraceSpan{
+				Name:    names[te.id],
+				Rank:    int(te.rank),
+				Depth:   int(te.depth),
+				StartNs: te.start,
+				DurNs:   te.dur,
+			})
+		}
+	}
+	for r := 0; r < MaxRanks; r++ {
+		p.Dropped += dropped[r].Load()
+	}
+	return p
+}
+
+// Event returns the named event's profile, if it recorded anything.
+func (p *Profile) Event(name string) (*EventProfile, bool) {
+	for i := range p.Events {
+		if p.Events[i].Name == name {
+			return &p.Events[i], true
+		}
+	}
+	return nil, false
+}
+
+// PerRank extracts the named event's per-rank flop, message and byte
+// counters as plain slices of length p.Ranks — the shape
+// internal/perf's efficiency decomposition consumes, so measured runs
+// feed the paper's e^I_s/e^F_s/e_c figures directly.
+func (p *Profile) PerRank(name string) (flops, msgs, bytes []int64, ok bool) {
+	e, ok := p.Event(name)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	flops = make([]int64, len(e.PerRank))
+	msgs = make([]int64, len(e.PerRank))
+	bytes = make([]int64, len(e.PerRank))
+	for r, st := range e.PerRank {
+		flops[r] = st.Flops
+		msgs[r] = st.Msgs
+		bytes[r] = st.Bytes
+	}
+	return flops, msgs, bytes, true
+}
+
+// Counter returns the named counter's value from the snapshot.
+func (p *Profile) Counter(name string) int64 {
+	for _, c := range p.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"prometheus/internal/obs"
 	"prometheus/internal/sparse"
 )
 
@@ -147,6 +148,92 @@ func TestBlockHaloSteadyStateAllocs(t *testing.T) {
 	if got := after.Mallocs - before.Mallocs; got > budget {
 		t.Errorf("blocked steady-state communication allocated %d objects over %d rounds (budget %d): buffers are not being reused",
 			got, rounds, budget)
+	}
+}
+
+// TestSteadyStateAllocsObsEnabled repeats the steady-state exchange
+// measurement with observability recording on. The halo exchange span,
+// the per-send comm counters and the message-size histogram all write
+// preallocated atomics, so the allocation budget is the same as with
+// obs off.
+func TestSteadyStateAllocsObsEnabled(t *testing.T) {
+	const (
+		n      = 96
+		p      = 4
+		warmup = 5
+		rounds = 200
+		budget = 100
+	)
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4)
+		if i+1 < n {
+			b.Add(i, i+1, -1)
+			b.Add(i+1, i, -1)
+		}
+		b.Add(i, (i+29)%n, 0.5)
+	}
+	a := b.Build()
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = i * p / n
+	}
+	h := NewHalo(a, owner, p)
+	comm := NewComm(p)
+
+	// The ring is sized for the full round count so the measurement
+	// covers the record path, not just the counted-drop path.
+	obs.EnableWith(obs.Config{Ranks: p, RingCap: 1 << 12})
+	defer obs.Disable()
+
+	var before, after runtime.MemStats
+	comm.Run(func(r *Rank) {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			if owner[i] == r.ID() {
+				x[i] = float64(i%7) - 3
+			}
+		}
+		round := func() {
+			h.MulVec(r, a, x, y)
+			_ = h.Dot(r, x, x)
+		}
+		for k := 0; k < warmup; k++ {
+			round()
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			runtime.ReadMemStats(&before)
+		}
+		r.Barrier()
+		for k := 0; k < rounds; k++ {
+			round()
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			runtime.ReadMemStats(&after)
+		}
+		r.Barrier()
+	})
+	if got := after.Mallocs - before.Mallocs; got > budget {
+		t.Errorf("obs-enabled steady-state communication allocated %d objects over %d rounds (budget %d)",
+			got, rounds, budget)
+	}
+	// The instrumentation must actually have measured the traffic.
+	prof := obs.Snapshot()
+	flops, msgs, bytes, ok := prof.PerRank("par.rank")
+	if !ok {
+		t.Fatal("par.rank counters missing from obs snapshot")
+	}
+	var tf, tm, tb int64
+	for i := range flops {
+		tf += flops[i]
+		tm += msgs[i]
+		tb += bytes[i]
+	}
+	if tf == 0 || tm == 0 || tb == 0 {
+		t.Fatalf("measured counters flops=%d msgs=%d bytes=%d, want all non-zero", tf, tm, tb)
 	}
 }
 

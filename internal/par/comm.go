@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"prometheus/internal/check"
+	"prometheus/internal/obs"
 )
 
 // message is one point-to-point payload.
@@ -250,7 +251,10 @@ func (r *Rank) ID() int { return r.id }
 func (r *Rank) Size() int { return r.comm.size }
 
 // CountFlops adds n to the rank's flop counter.
-func (r *Rank) CountFlops(n int64) { r.Flops += n }
+func (r *Rank) CountFlops(n int64) {
+	r.Flops += n
+	obs.AddFlops(obsRankEv, r.id, n)
+}
 
 // Send delivers data to rank "to" with the given tag. Sends are buffered
 // and non-blocking up to a large channel capacity.
@@ -264,6 +268,8 @@ func (r *Rank) Send(to, tag int, data interface{}, bytes int) {
 	}
 	r.MsgsSent++
 	r.BytesSent += int64(bytes)
+	obs.AddComm(obsRankEv, r.id, 1, int64(bytes))
+	obsMsgSize.Observe(int64(bytes))
 	r.comm.chans[r.id][to] <- message{tag: tag, data: data}
 }
 

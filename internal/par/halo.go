@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"prometheus/internal/check"
+	"prometheus/internal/obs"
 	"prometheus/internal/sparse"
 )
 
@@ -155,6 +156,13 @@ func (h *Halo) GhostCount(r int) int {
 // are assumed valid on entry, and on return the ghost entries r needs are
 // valid too. Counts message traffic on the rank.
 func (h *Halo) Exchange(r *Rank, x []float64) {
+	sp := obs.StartRank(obsHaloEv, r.ID())
+	h.exchange(r, x)
+	sp.End()
+}
+
+// exchange is the span-free body of Exchange.
+func (h *Halo) exchange(r *Rank, x []float64) {
 	me := r.ID()
 	bs := h.BS
 	for nb, idx := range h.send[me] {
@@ -169,6 +177,7 @@ func (h *Halo) Exchange(r *Rank, x []float64) {
 				copy(vals[bs*k:bs*k+bs], x[bs*j:bs*j+bs])
 			}
 		}
+		obs.AddComm(obsHaloEv, me, 1, int64(8*len(vals)))
 		r.Send(nb, haloTag, bp, 8*len(vals))
 	}
 	for nb, idx := range h.recv[me] {

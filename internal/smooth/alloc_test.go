@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"prometheus/internal/graph"
+	"prometheus/internal/obs"
 )
 
 // TestSmootherSweepsZeroAlloc asserts every smoother's steady-state
@@ -54,6 +55,17 @@ func TestSmootherSweepsZeroAlloc(t *testing.T) {
 		}
 		if got := testing.AllocsPerRun(20, func() { tc.s.Apply(r, z) }); got != 0 {
 			t.Errorf("%s.Apply allocates %.1f per call, want 0", tc.name, got)
+		}
+	}
+
+	// The same sweeps with observability recording: the obs spans the
+	// instrumented smoothers open land in preallocated buffers, so the
+	// zero-allocation guarantee holds with profiling on too.
+	obs.EnableWith(obs.Config{RingCap: 1 << 12})
+	defer obs.Disable()
+	for _, tc := range smoothers {
+		if got := testing.AllocsPerRun(20, func() { tc.s.Smooth(x, b, 2) }); got != 0 {
+			t.Errorf("%s.Smooth with obs enabled allocates %.1f per call, want 0", tc.name, got)
 		}
 	}
 }

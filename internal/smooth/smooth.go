@@ -15,6 +15,7 @@ import (
 	"prometheus/internal/geom"
 	"prometheus/internal/graph"
 	"prometheus/internal/la"
+	"prometheus/internal/obs"
 	"prometheus/internal/sparse"
 )
 
@@ -55,6 +56,8 @@ func NewJacobi(a sparse.Operator, omega float64) *Jacobi {
 
 // Smooth implements Smoother.
 func (s *Jacobi) Smooth(x, b []float64, n int) {
+	sp := obs.Start(evJacobi)
+	f0 := s.flops
 	for it := 0; it < n; it++ {
 		s.A.Residual(b, x, s.work)
 		for i := range x {
@@ -62,6 +65,7 @@ func (s *Jacobi) Smooth(x, b []float64, n int) {
 		}
 		s.flops += s.A.MulVecFlops() + 3*int64(len(x))
 	}
+	sp.EndFlops(s.flops - f0)
 }
 
 // Apply implements Smoother.
@@ -241,12 +245,15 @@ func (s *GaussSeidel) sweep(x, b []float64, backward bool) {
 
 // Smooth implements Smoother.
 func (s *GaussSeidel) Smooth(x, b []float64, n int) {
+	sp := obs.Start(evGaussSeidel)
+	f0 := s.flops
 	for it := 0; it < n; it++ {
 		s.sweep(x, b, false)
 		if s.Sym {
 			s.sweep(x, b, true)
 		}
 	}
+	sp.EndFlops(s.flops - f0)
 }
 
 // Apply implements Smoother.
@@ -317,9 +324,12 @@ func NewChebyshev(a sparse.Operator, degree int, alpha float64) *Chebyshev {
 // Smooth implements Smoother using the standard Chebyshev recurrence on the
 // D⁻¹-preconditioned operator.
 func (s *Chebyshev) Smooth(x, b []float64, n int) {
+	sp := obs.Start(evChebyshev)
+	f0 := s.flops
 	for it := 0; it < n; it++ {
 		s.apply(x, b)
 	}
+	sp.EndFlops(s.flops - f0)
 }
 
 func (s *Chebyshev) apply(x, b []float64) {
@@ -499,12 +509,15 @@ func (s *DomainBlockJacobi) AutoDamp() {
 // Smooth implements Smoother: x += Omega·M⁻¹(b - A·x) with M the block
 // diagonal.
 func (s *DomainBlockJacobi) Smooth(x, b []float64, n int) {
+	sp := obs.Start(evDomainBJ)
+	f0 := s.flops
 	for it := 0; it < n; it++ {
 		s.A.Residual(b, x, s.work)
 		s.applyBlocks(s.work, s.work)
 		la.Axpy(s.Omega, s.work, x)
 		s.flops += s.A.MulVecFlops() + 3*int64(len(x))
 	}
+	sp.EndFlops(s.flops - f0)
 }
 
 // applyBlocks solves M·z = r block by block (r and z may alias).
@@ -576,6 +589,13 @@ func NewNodeBlockJacobi(a *sparse.BSR, omega float64) *NodeBlockJacobi {
 
 // Smooth implements Smoother.
 func (s *NodeBlockJacobi) Smooth(x, b []float64, n int) {
+	sp := obs.Start(evNodeBJ)
+	f0 := s.flops
+	s.smooth(x, b, n)
+	sp.EndFlops(s.flops - f0)
+}
+
+func (s *NodeBlockJacobi) smooth(x, b []float64, n int) {
 	bs := s.A.B
 	bb := bs * bs
 	nb := s.A.NBRows
@@ -710,6 +730,15 @@ func NewCGSmoother(a sparse.Operator, inner Smoother, iters int) *CGSmoother {
 // Smooth implements Smoother: n×Iters preconditioned CG iterations
 // continuing from the current x.
 func (s *CGSmoother) Smooth(x, b []float64, n int) {
+	sp := obs.Start(evCG)
+	f0 := s.flops
+	s.smooth(x, b, n)
+	sp.EndFlops(s.flops - f0)
+}
+
+// smooth is the span-free body; it returns early on breakdown, so the
+// wrapper above keeps the obs span balanced on every path.
+func (s *CGSmoother) smooth(x, b []float64, n int) {
 	nn := s.A.Rows()
 	r, z, p, ap := s.r, s.z, s.p, s.ap
 	s.A.Residual(b, x, r)

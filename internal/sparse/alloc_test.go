@@ -3,6 +3,8 @@ package sparse
 import (
 	"math/rand"
 	"testing"
+
+	"prometheus/internal/obs"
 )
 
 // TestSpMVZeroAlloc locks in the zero-allocation guarantee that the
@@ -48,5 +50,30 @@ func TestBSRSpMVZeroAlloc(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(50, func() { a.Residual(y, x, r) }); n != 0 {
 		t.Errorf("BSR.Residual allocates %.1f per call, want 0", n)
+	}
+}
+
+// TestSpMVZeroAllocObsEnabled locks in the same guarantee with the
+// observability subsystem recording: the instrumented MulVec paths
+// write spans into preallocated buffers, so enabling obs must not add
+// a single allocation to the kernels.
+func TestSpMVZeroAllocObsEnabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randCSR(rng, 300, 300, 0.05)
+	ab := randBSR(rng, 100, 100, 3, 0.05)
+	x := make([]float64, a.NCols)
+	y := make([]float64, a.NRows)
+	xb := make([]float64, ab.Cols())
+	yb := make([]float64, ab.Rows())
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	obs.EnableWith(obs.Config{RingCap: 1 << 12})
+	defer obs.Disable()
+	if n := testing.AllocsPerRun(50, func() { a.MulVec(x, y) }); n != 0 {
+		t.Errorf("MulVec with obs enabled allocates %.1f per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { ab.MulVec(xb, yb) }); n != 0 {
+		t.Errorf("BSR.MulVec with obs enabled allocates %.1f per call, want 0", n)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"prometheus/internal/check"
+	"prometheus/internal/obs"
 )
 
 // BSR is a block compressed sparse row matrix: the sparsity pattern is
@@ -47,11 +48,13 @@ func (a *BSR) MulVec(x, y []float64) {
 	if len(x) != a.Cols() || len(y) != a.Rows() {
 		panic("sparse: BSR.MulVec dimension mismatch")
 	}
+	sp := obs.Start(evSpMVBSR)
 	if a.B == 3 {
 		a.mulVec3(x, y, 0, a.NBRows)
-		return
+	} else {
+		a.mulVecBlocks(x, y, 0, a.NBRows)
 	}
-	a.mulVecBlocks(x, y, 0, a.NBRows)
+	sp.EndFlops(a.MulVecFlops())
 }
 
 // mulVec3 is the register-blocked 3x3 micro-kernel: y rows [3*lo, 3*hi).

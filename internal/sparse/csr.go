@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"prometheus/internal/check"
+	"prometheus/internal/obs"
 )
 
 // CSR is a sparse matrix in compressed sparse row format.
@@ -108,7 +109,9 @@ func (a *CSR) MulVec(x, y []float64) {
 	if len(x) != a.NCols || len(y) != a.NRows {
 		panic("sparse: MulVec dimension mismatch")
 	}
+	sp := obs.Start(evSpMVCSR)
 	a.MulVecRange(x, y, 0, a.NRows)
+	sp.EndFlops(2 * int64(len(a.ColIdx)))
 }
 
 // MulVecRange computes y[i] = (A·x)[i] for i in [lo, hi). It is the kernel
