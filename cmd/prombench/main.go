@@ -10,11 +10,12 @@
 //
 // Experiments: table1, table2, fig7, fig9, fig10, fig11, fig12, fig13,
 // thinbody, ordering, parmis, amg, phases, headline, ablations,
-// blockbench, obsbench, all.
+// blockbench, obsbench, parbench, all.
 // -csv additionally writes the scaled series as CSV for plotting.
 // -json writes a kernel study as JSON to the given path: the obsbench
-// observability report when -exp obsbench, otherwise the blockbench
-// CSR-vs-BSR study (schemas in EXPERIMENTS.md).
+// observability report when -exp obsbench, the parbench real-core
+// speedup study when -exp parbench, otherwise the blockbench CSR-vs-BSR
+// study (schemas in EXPERIMENTS.md).
 // -obs enables the observability subsystem for the whole run and prints
 // the -log_view-style event table after the experiments finish.
 package main
@@ -54,6 +55,7 @@ func main() {
 	var runs []*experiments.LinearRun
 	var blockRep *experiments.BlockBenchReport
 	var obsRep *experiments.ObsBenchReport
+	var parRep *experiments.ParBenchReport
 	needSeries := func() error {
 		if runs != nil {
 			return nil
@@ -124,6 +126,14 @@ func main() {
 			obsRep = rep
 			experiments.ObsBenchTable(w, rep)
 			return nil
+		case "parbench":
+			rep, err := experiments.ParBench()
+			if err != nil {
+				return err
+			}
+			parRep = rep
+			experiments.ParBenchTable(w, rep)
+			return nil
 		case "ablations":
 			if err := experiments.AblationTOL(w); err != nil {
 				return err
@@ -150,9 +160,9 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table1", "fig9", "fig7", "table2", "fig10", "fig11",
-			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench", "obsbench"}
+			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench", "obsbench", "parbench"}
 	}
-	if *jsonPath != "" && *exp != "blockbench" && *exp != "obsbench" && *exp != "all" {
+	if *jsonPath != "" && *exp != "blockbench" && *exp != "obsbench" && *exp != "parbench" && *exp != "all" {
 		names = append(names, "blockbench")
 	}
 	for i, name := range names {
@@ -190,9 +200,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "prombench: json: %v\n", err)
 			os.Exit(1)
 		}
-		if *exp == "obsbench" {
+		switch {
+		case *exp == "obsbench":
 			err = experiments.WriteObsBenchJSON(f, obsRep)
-		} else {
+		case *exp == "parbench":
+			err = experiments.WriteParBenchJSON(f, parRep)
+		default:
 			err = experiments.WriteBlockBenchJSON(f, blockRep)
 		}
 		if cerr := f.Close(); err == nil {

@@ -1,0 +1,78 @@
+//go:build promdebug
+
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOwnersCatchesOverlap seeds the exact bug the sanitizer exists for:
+// two workers claiming intersecting ranges of the same vector. The panic
+// must name both workers and carry both stacks.
+func TestOwnersCatchesOverlap(t *testing.T) {
+	var o Owners
+	o.Init(4)
+	y := make([]float64, 100)
+	o.Claim(0, y, 0, 60)
+	defer func() {
+		e := recover()
+		if e == nil {
+			t.Fatal("overlapping claim did not panic")
+		}
+		msg, ok := e.(string)
+		if !ok {
+			t.Fatalf("panic payload is %T, want string", e)
+		}
+		for _, want := range []string{"worker 1 claims [50,80)", "worker 0's [0,60)", "-- worker 1 stack --", "-- worker 0 stack --", "goroutine"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic message missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	o.Claim(1, y, 50, 80)
+}
+
+// TestOwnersDistinctArraysNoFalsePositive: identical index ranges on
+// different vectors must not collide (two dispatch phases writing two
+// different vectors would otherwise trip the table).
+func TestOwnersDistinctArraysNoFalsePositive(t *testing.T) {
+	var o Owners
+	o.Init(2)
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	o.Claim(0, a, 0, 50)
+	o.Claim(1, b, 0, 50) // must not panic
+	o.Release(0)
+	o.Release(1)
+}
+
+// TestOwnersDisjointRangesNoFalsePositive: the healthy dispatch shape.
+func TestOwnersDisjointRangesNoFalsePositive(t *testing.T) {
+	var o Owners
+	o.Init(3)
+	y := make([]float64, 90)
+	o.Claim(0, y, 0, 30)
+	o.Claim(1, y, 30, 60)
+	o.Claim(2, y, 60, 90)
+	for w := 0; w < 3; w++ {
+		o.Release(w)
+	}
+	// Released ranges are reclaimable by anyone.
+	o.Claim(1, y, 0, 90)
+	o.Release(1)
+}
+
+// TestOwnersDisableStopsChecking: with checking off, even an
+// overlapping claim must be ignored (the inert fast path).
+func TestOwnersDisableStopsChecking(t *testing.T) {
+	var o Owners
+	o.Init(2)
+	y := make([]float64, 10)
+	o.Claim(0, y, 0, 10)
+	o.Disable()
+	o.Claim(1, y, 0, 10) // must not panic
+	o.Enable()
+	o.Release(0)
+	o.Release(1)
+}

@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"prometheus/internal/core"
-	"prometheus/internal/fem"
 	"prometheus/internal/multigrid"
 	"prometheus/internal/problems"
 	"prometheus/internal/smooth"
@@ -52,39 +51,14 @@ func bsrBytes(a *sparse.BSR) int64 {
 // measures SpMV, smoother sweeps and the full multigrid V-cycle. All
 // pairs run on bitwise-identical matrices (BSR is the re-blocked CSR).
 func BlockBench() (*BlockBenchReport, error) {
-	cfg := problems.SpheresConfig{Layers: 5, ElemsPerLayer: 1, CoreElems: 2, OuterElems: 2}
-	s := problems.NewSpheresConfig(cfg)
-	p := fem.NewProblem(s.Mesh, s.Models, true)
-	u := make([]float64, s.Mesh.NumDOF())
-	s.Cons.Scaled(0.1).Apply(u)
-	k, fint, err := p.AssembleTangent(u)
+	ks, err := newKernelSystem(problems.SpheresConfig{Layers: 5, ElemsPerLayer: 1, CoreElems: 2, OuterElems: 2})
 	if err != nil {
 		return nil, err
 	}
-	// The octant's symmetry planes constrain single components, which
-	// breaks node alignment; the kernel study clamps whole vertices
-	// instead — same operator size class, and the reduced matrix keeps
-	// its 3x3 node blocks intact so both storages bench the same system.
-	zero := fem.NewConstraints()
-	for d := range s.Cons.Fixed {
-		zero.FixVert(d/3, 0, 0, 0)
-	}
-	dm := zero.NewDofMap(s.Mesh.NumDOF())
-	r := make([]float64, len(fint))
-	for i := range r {
-		r[i] = -fint[i]
-	}
-	kred, rred := zero.Reduce(k, r, dm)
-	if !dm.NodeAligned(3) {
-		return nil, fmt.Errorf("experiments: spheres bench constraints are not node-aligned")
-	}
-	kb, err := sparse.FromCSR(kred, 3)
-	if err != nil {
-		return nil, err
-	}
+	kred, kb, rred := ks.Kred, ks.KB, ks.Rred
 
 	rep := &BlockBenchReport{
-		Problem: fmt.Sprintf("spheres L=%d k=%d", cfg.Layers, cfg.ElemsPerLayer),
+		Problem: ks.Problem(),
 		Dof:     kred.NRows,
 		NNZ:     kred.NNZ(),
 	}
@@ -137,7 +111,7 @@ func BlockBench() (*BlockBenchReport, error) {
 	add("node_block_jacobi_sweep", bsrBytes(kb), func() { nbj.Smooth(xs, rred, 1) })
 
 	// Full V-cycle on both hierarchies.
-	h, err := core.Coarsen(s.Mesh, core.Options{})
+	h, err := core.Coarsen(ks.S.Mesh, core.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +119,7 @@ func BlockBench() (*BlockBenchReport, error) {
 	for l := 1; l < h.NumLevels(); l++ {
 		rr := h.Grids[l].R
 		if l == 1 {
-			rr = multigrid.CompressCols(rr, dm.Full2Red, dm.NumFree())
+			rr = multigrid.CompressCols(rr, ks.DM.Full2Red, ks.DM.NumFree())
 		}
 		rs = append(rs, rr)
 	}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prometheus/internal/fem"
+	"prometheus/internal/problems"
+	"prometheus/internal/sparse"
+)
+
+// kernelSystem is a reduced spheres tangent system held in both storages:
+// the shared fixture of the kernel studies (blockbench, parbench). The
+// octant's symmetry planes constrain single components, which breaks node
+// alignment; the kernel studies clamp whole vertices instead — same
+// operator size class, and the reduced matrix keeps its 3x3 node blocks
+// intact so both storages bench the same system.
+type kernelSystem struct {
+	Cfg  problems.SpheresConfig
+	S    *problems.Spheres
+	DM   *fem.DofMap
+	Kred *sparse.CSR
+	KB   *sparse.BSR
+	Rred []float64
+}
+
+func newKernelSystem(cfg problems.SpheresConfig) (*kernelSystem, error) {
+	s := problems.NewSpheresConfig(cfg)
+	p := fem.NewProblem(s.Mesh, s.Models, true)
+	u := make([]float64, s.Mesh.NumDOF())
+	s.Cons.Scaled(0.1).Apply(u)
+	k, fint, err := p.AssembleTangent(u)
+	if err != nil {
+		return nil, err
+	}
+	zero := fem.NewConstraints()
+	for d := range s.Cons.Fixed {
+		zero.FixVert(d/3, 0, 0, 0)
+	}
+	dm := zero.NewDofMap(s.Mesh.NumDOF())
+	r := make([]float64, len(fint))
+	for i := range r {
+		r[i] = -fint[i]
+	}
+	kred, rred := zero.Reduce(k, r, dm)
+	if !dm.NodeAligned(3) {
+		return nil, fmt.Errorf("experiments: bench constraints are not node-aligned")
+	}
+	kb, err := sparse.FromCSR(kred, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &kernelSystem{Cfg: cfg, S: s, DM: dm, Kred: kred, KB: kb, Rred: rred}, nil
+}
+
+// Problem renders the configuration for reports.
+func (ks *kernelSystem) Problem() string {
+	return fmt.Sprintf("spheres L=%d k=%d", ks.Cfg.Layers, ks.Cfg.ElemsPerLayer)
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"testing"
+
+	"prometheus/internal/pool"
+	"prometheus/internal/problems"
+	"prometheus/internal/smooth"
+)
+
+// ParBenchPoint is one measured worker count on a kernel's speedup curve.
+type ParBenchPoint struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// ParBenchKernel is the speedup curve of one row-partitioned kernel: the
+// serial baseline, one point per worker count, and whether every parallel
+// result was bitwise identical to the serial one (the correctness half of
+// the study — the ownership verifier proves the partition disjoint, and
+// identical bits witness that disjointness at runtime).
+type ParBenchKernel struct {
+	Name     string          `json:"name"`
+	SerialNs float64         `json:"serial_ns_per_op"`
+	Bitwise  bool            `json:"bitwise_identical"`
+	Points   []ParBenchPoint `json:"points"`
+}
+
+// ParBenchReport is the machine-readable result of the real-core
+// shared-memory study (schema documented in EXPERIMENTS.md). NumCPU
+// records the host parallelism: speedups above 1 are only expected when
+// the host has more than one core, and the report is honest either way.
+type ParBenchReport struct {
+	Problem    string           `json:"problem"`
+	Dof        int              `json:"dof"`
+	NNZ        int              `json:"nnz"`
+	NumCPU     int              `json:"num_cpu"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Kernels    []ParBenchKernel `json:"kernels"`
+}
+
+// parWorkerCounts is the measured pool sizes: 1 (the serial fallback
+// inside Dispatch), 2 (the smallest real fan-out, exercised even on a
+// single-core host), then powers of two up to and including NumCPU.
+func parWorkerCounts() []int {
+	max := runtime.NumCPU()
+	counts := []int{1, 2}
+	for w := 4; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	if max > 2 {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// sameVec reports bit-for-bit element equality — the bitwise-identity
+// check, strict enough to distinguish -0 from +0.
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ParBench measures the real-core shared-memory kernels — CSR and BSR
+// SpMV and the pool-backed Jacobi sweep — across worker counts on the
+// 3-dof spheres operator, verifying at every count that the parallel
+// result is bitwise identical to the serial kernel before timing it.
+func ParBench() (*ParBenchReport, error) {
+	ks, err := newKernelSystem(problems.SpheresConfig{Layers: 5, ElemsPerLayer: 2, CoreElems: 4, OuterElems: 4})
+	if err != nil {
+		return nil, err
+	}
+	kred, kb, rred := ks.Kred, ks.KB, ks.Rred
+	rep := &ParBenchReport{
+		Problem:    ks.Problem(),
+		Dof:        kred.NRows,
+		NNZ:        kred.NNZ(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	n := kred.NRows
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+
+	measure := func(fn func()) (float64, int64) {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		return float64(res.NsPerOp()), res.AllocsPerOp()
+	}
+
+	// study runs one kernel across the worker counts. serial must fill
+	// its output; parallel receives each pool once and returns the per-op
+	// function, so per-pool setup (smoother construction) stays out of
+	// the timed loop; both must be deterministic so the bitwise check is
+	// meaningful.
+	study := func(name string, serial func(y []float64), parallel func(p *pool.Pool) func(y []float64)) {
+		k := ParBenchKernel{Name: name, Bitwise: true}
+		ySer := make([]float64, n)
+		serial(ySer)
+		k.SerialNs, _ = measure(func() { serial(ySer) })
+		serial(ySer) // re-establish the reference after the timing loop
+		for _, nw := range parWorkerCounts() {
+			p := pool.New(nw)
+			op := parallel(p)
+			yPar := make([]float64, n)
+			op(yPar)
+			if !sameVec(ySer, yPar) {
+				k.Bitwise = false
+			}
+			ns, allocs := measure(func() { op(yPar) })
+			pt := ParBenchPoint{Workers: nw, NsPerOp: ns, AllocsPerOp: allocs}
+			if ns > 0 {
+				pt.Speedup = k.SerialNs / ns
+			}
+			k.Points = append(k.Points, pt)
+			p.Close()
+		}
+		rep.Kernels = append(rep.Kernels, k)
+	}
+
+	study("spmv_csr",
+		func(y []float64) { kred.MulVec(x, y) },
+		func(p *pool.Pool) func(y []float64) {
+			return func(y []float64) { kred.MulVecParallel(p, x, y) }
+		})
+	study("spmv_bsr",
+		func(y []float64) { kb.MulVec(x, y) },
+		func(p *pool.Pool) func(y []float64) {
+			return func(y []float64) { kb.MulVecParallel(p, x, y) }
+		})
+
+	// The Jacobi study smooths from a fixed start: out is the iterate,
+	// and one op is a fixed number of sweeps so serial and parallel run
+	// identical arithmetic per op.
+	const sweeps = 2
+	jac := smooth.NewJacobi(kb, 2.0/3)
+	study("jacobi_bsr_sweeps",
+		func(y []float64) {
+			clear(y)
+			jac.Smooth(y, rred, sweeps)
+		},
+		func(p *pool.Pool) func(y []float64) {
+			pj := smooth.NewParallelJacobi(kb, 2.0/3, p)
+			return func(y []float64) {
+				clear(y)
+				pj.Smooth(y, rred, sweeps)
+			}
+		})
+	return rep, nil
+}
+
+// WriteParBenchJSON writes the report as indented JSON.
+func WriteParBenchJSON(w io.Writer, rep *ParBenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ParBenchTable renders the report as the human-readable study.
+func ParBenchTable(w io.Writer, rep *ParBenchReport) {
+	fmt.Fprintf(w, "Real-core shared-memory study (%s, %d dof, %d nnz, %d cpus, GOMAXPROCS=%d)\n",
+		rep.Problem, rep.Dof, rep.NNZ, rep.NumCPU, rep.GoMaxProcs)
+	for _, k := range rep.Kernels {
+		fmt.Fprintf(w, "%-18s serial %10.0f ns/op   bitwise identical: %v\n", k.Name, k.SerialNs, k.Bitwise)
+		for _, pt := range k.Points {
+			fmt.Fprintf(w, "  %2d workers %14.0f ns/op %7.2fx %6d allocs/op\n",
+				pt.Workers, pt.NsPerOp, pt.Speedup, pt.AllocsPerOp)
+		}
+	}
+	if rep.NumCPU == 1 {
+		fmt.Fprintln(w, "note: single-cpu host — curves measure dispatch overhead, not scaling")
+	}
+}

@@ -1,0 +1,855 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements the symbolic affine arithmetic behind the
+// ownership analysis (ownership.go) and the shared-write /
+// range-partition rules. The value domain is
+//
+//	form = c + Σ coeff·m
+//
+// where each monomial m is one symbol or a product of two symbols
+// (degree ≤ 2 — enough for block arithmetic like ib*b while keeping
+// equality decidable), and symbols are interned names for
+//
+//   - program variables (parameters and pinned locals),
+//   - fields read off a receiver or parameter (a.B),
+//   - loop induction variables with their iteration range,
+//   - derived quotients and remainders (lo/b, lo%b), keyed by the
+//     canonical encoding of their operand forms so the same division
+//     appearing twice resolves to the same symbol,
+//   - anonymous unknowns (slice element reads, joined branches).
+//
+// A fact set carries what the analysis learned from dominating guards:
+// lower bounds (n >= 1 after `if n <= 0 { return }`), divisibility
+// (lo ≡ 0 mod b after `if lo%b == 0 {`), and equalities (b == 3 inside
+// that branch). Facts license the two rewrite rules that make blocked
+// kernels provable: k*(e/k) = e and b*(e/b) = e when e ≡ 0 (mod the
+// divisor). All queries reduce to provableNonneg, a structural check
+// over the fact set — no LP solver, no iteration.
+
+// symID indexes the analysis symbol table.
+type symID int32
+
+// symKind classifies a symbol.
+type symKind uint8
+
+const (
+	symObj   symKind = iota // a program variable
+	symField                // field read: owner.field
+	symLoop                 // loop induction variable over [lo, hi)
+	symDiv                  // quotient a / b
+	symMod                  // remainder a % b
+	symAnon                 // anonymous unknown
+)
+
+// symInfo is one interned symbol.
+type symInfo struct {
+	kind   symKind
+	obj    types.Object // symObj: the variable; symField: the owner
+	field  string       // symField
+	a, b   *aform       // symDiv/symMod operands (canonicalized at creation)
+	lo, hi *aform       // symLoop: iteration range [lo, hi); nil = unknown
+	nonneg bool         // known ≥ 0 by construction (e.g. range-loop index)
+}
+
+// symtab interns symbols. Derived div/mod symbols are keyed by the
+// canonical serialization of their operands, so equal divisions unify.
+type symtab struct {
+	syms  []symInfo
+	byKey map[string]symID
+}
+
+func newSymtab() *symtab {
+	return &symtab{byKey: make(map[string]symID)}
+}
+
+func (t *symtab) intern(key string, info symInfo) symID {
+	if id, ok := t.byKey[key]; ok {
+		return id
+	}
+	id := symID(len(t.syms))
+	t.syms = append(t.syms, info)
+	t.byKey[key] = id
+	return id
+}
+
+// objSym interns the symbol for a program variable.
+func (t *symtab) objSym(obj types.Object) symID {
+	return t.intern(fmt.Sprintf("o%p", obj), symInfo{kind: symObj, obj: obj})
+}
+
+// fieldSym interns the symbol for owner.field, where owner is the
+// variable (usually a receiver) whose field is read.
+func (t *symtab) fieldSym(owner types.Object, field string) symID {
+	return t.intern(fmt.Sprintf("f%p.%s", owner, field), symInfo{kind: symField, obj: owner, field: field})
+}
+
+// anonSym creates a fresh unknown. Anonymous symbols are never interned:
+// two unknown values are never assumed equal.
+func (t *symtab) anonSym(nonneg bool) symID {
+	id := symID(len(t.syms))
+	t.syms = append(t.syms, symInfo{kind: symAnon, nonneg: nonneg})
+	return id
+}
+
+// loopSym creates a fresh induction variable over [lo, hi).
+func (t *symtab) loopSym(lo, hi *aform, nonneg bool) symID {
+	id := symID(len(t.syms))
+	t.syms = append(t.syms, symInfo{kind: symLoop, lo: lo, hi: hi, nonneg: nonneg})
+	return id
+}
+
+func (t *symtab) divSym(a, b *aform) symID {
+	return t.intern("d("+formKey(a)+")/("+formKey(b)+")", symInfo{kind: symDiv, a: a, b: b})
+}
+
+func (t *symtab) modSym(a, b *aform) symID {
+	return t.intern("m("+formKey(a)+")%("+formKey(b)+")", symInfo{kind: symMod, a: a, b: b})
+}
+
+// mono is one monomial: a single symbol (y == -1) or a product x*y with
+// x <= y.
+type mono struct{ x, y symID }
+
+func mono1(s symID) mono { return mono{x: s, y: -1} }
+
+func mono2(a, b symID) mono {
+	if a > b {
+		a, b = b, a
+	}
+	return mono{x: a, y: b}
+}
+
+func (m mono) degree() int {
+	if m.y < 0 {
+		return 1
+	}
+	return 2
+}
+
+func (m mono) mentions(s symID) bool { return m.x == s || m.y == s }
+
+// aform is an affine-ish form c + Σ coeff·mono. The nil *aform is ⊤
+// (unknown value).
+type aform struct {
+	c int64
+	t map[mono]int64
+}
+
+func aConst(c int64) *aform { return &aform{c: c} }
+
+func aSym(s symID) *aform { return &aform{t: map[mono]int64{mono1(s): 1}} }
+
+func (f *aform) clone() *aform {
+	g := &aform{c: f.c}
+	if len(f.t) > 0 {
+		g.t = make(map[mono]int64, len(f.t))
+		for m, c := range f.t {
+			g.t[m] = c
+		}
+	}
+	return g
+}
+
+func (f *aform) isConst() bool { return f != nil && len(f.t) == 0 }
+
+func (f *aform) isZero() bool { return f.isConst() && f.c == 0 }
+
+// mentions reports whether the form references the symbol.
+func (f *aform) mentions(s symID) bool {
+	if f == nil {
+		return false
+	}
+	for m := range f.t {
+		if m.mentions(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// addTerm accumulates coeff·m into the form in place.
+func (f *aform) addTerm(m mono, coeff int64) {
+	if coeff == 0 {
+		return
+	}
+	if f.t == nil {
+		f.t = make(map[mono]int64)
+	}
+	f.t[m] += coeff
+	if f.t[m] == 0 {
+		delete(f.t, m)
+	}
+}
+
+// formKey serializes a form deterministically (terms sorted by symbol
+// ids), for interning derived symbols and matching facts.
+func formKey(f *aform) string {
+	if f == nil {
+		return "T"
+	}
+	keys := make([]mono, 0, len(f.t))
+	for m := range f.t {
+		keys = append(keys, m)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].x != keys[j].x {
+			return keys[i].x < keys[j].x
+		}
+		return keys[i].y < keys[j].y
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", f.c)
+	for _, m := range keys {
+		fmt.Fprintf(&b, "+%d*s%d", f.t[m], m.x)
+		if m.y >= 0 {
+			fmt.Fprintf(&b, "*s%d", m.y)
+		}
+	}
+	return b.String()
+}
+
+// lbFact records form >= min.
+type lbFact struct {
+	f   *aform
+	min int64
+}
+
+// modFact records a ≡ 0 (mod b).
+type modFact struct{ a, b *aform }
+
+// eqFact records sym == f, applied by substitution at canonicalization.
+type eqFact struct {
+	s symID
+	f *aform
+}
+
+// factSet is the branch-scoped knowledge base. Facts are stored as
+// small slices and matched by canonical form equality; clone isolates
+// branches.
+type factSet struct {
+	lb   []lbFact
+	modZ []modFact
+	eq   []eqFact
+}
+
+func (fs *factSet) clone() *factSet {
+	out := &factSet{
+		lb:   make([]lbFact, len(fs.lb)),
+		modZ: make([]modFact, len(fs.modZ)),
+		eq:   make([]eqFact, len(fs.eq)),
+	}
+	copy(out.lb, fs.lb)
+	copy(out.modZ, fs.modZ)
+	copy(out.eq, fs.eq)
+	return out
+}
+
+// actx bundles the symbol table with the fact set in scope, so every
+// arithmetic operation can normalize against the current facts.
+type actx struct {
+	tab   *symtab
+	facts *factSet
+}
+
+// canon applies equality facts by substitution until fixpoint (bounded;
+// equality chains in real guards are one or two deep).
+func (cx *actx) canon(f *aform) *aform {
+	if f == nil {
+		return nil
+	}
+	for iter := 0; iter < 8; iter++ {
+		changed := false
+		for _, eq := range cx.facts.eq {
+			if f.mentions(eq.s) {
+				f = cx.subst(f, eq.s, eq.f)
+				if f == nil {
+					return nil
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cx.normalize(f)
+}
+
+// add returns f + g.
+func (cx *actx) add(f, g *aform) *aform {
+	if f == nil || g == nil {
+		return nil
+	}
+	out := f.clone()
+	out.c += g.c
+	for m, c := range g.t {
+		out.addTerm(m, c)
+	}
+	return cx.normalize(out)
+}
+
+// sub returns f - g.
+func (cx *actx) sub(f, g *aform) *aform {
+	if f == nil || g == nil {
+		return nil
+	}
+	return cx.add(f, cx.scale(g, -1))
+}
+
+// scale returns k·f.
+func (cx *actx) scale(f *aform, k int64) *aform {
+	if f == nil {
+		return nil
+	}
+	if k == 0 {
+		return aConst(0)
+	}
+	out := &aform{c: f.c * k}
+	for m, c := range f.t {
+		out.addTerm(m, c*k)
+	}
+	return cx.normalize(out)
+}
+
+// mul returns f·g, or nil when the product exceeds degree 2.
+func (cx *actx) mul(f, g *aform) *aform {
+	if f == nil || g == nil {
+		return nil
+	}
+	out := aConst(f.c * g.c)
+	for m, c := range f.t {
+		out.addTerm(m, c*g.c)
+	}
+	for m, c := range g.t {
+		out.addTerm(m, c*f.c)
+	}
+	for mf, cf := range f.t {
+		for mg, cg := range g.t {
+			if mf.degree()+mg.degree() > 2 {
+				return nil
+			}
+			out.addTerm(mono2(mf.x, mg.x), cf*cg)
+		}
+	}
+	return cx.normalize(out)
+}
+
+// subst replaces every occurrence of symbol s in f by g.
+func (cx *actx) subst(f *aform, s symID, g *aform) *aform {
+	if f == nil {
+		return nil
+	}
+	out := aConst(f.c)
+	for m, c := range f.t {
+		switch {
+		case !m.mentions(s):
+			out.addTerm(m, c)
+		case m.y < 0: // c·s
+			out = cx.addRaw(out, cx.scale(g, c))
+		case m.x == s && m.y == s: // c·s²
+			out = cx.addRaw(out, cx.scale(cx.mul(g, g), c))
+		default: // c·s·t
+			t := m.x
+			if t == s {
+				t = m.y
+			}
+			out = cx.addRaw(out, cx.scale(cx.mul(g, aSym(t)), c))
+		}
+		if out == nil {
+			return nil
+		}
+	}
+	return cx.normalize(out)
+}
+
+// addRaw adds without re-normalizing (used inside subst loops).
+func (cx *actx) addRaw(f, g *aform) *aform {
+	if f == nil || g == nil {
+		return nil
+	}
+	out := f.clone()
+	out.c += g.c
+	for m, c := range g.t {
+		out.addTerm(m, c)
+	}
+	return out
+}
+
+// div returns f / g under Go's truncated integer division: exact when
+// every coefficient divides, a derived quotient symbol otherwise.
+func (cx *actx) div(f, g *aform) *aform {
+	if f == nil || g == nil {
+		return nil
+	}
+	f, g = cx.canon(f), cx.canon(g)
+	if f == nil || g == nil {
+		return nil
+	}
+	if g.isConst() {
+		k := g.c
+		if k == 0 {
+			return nil
+		}
+		if exact := cx.exactDiv(f, k); exact != nil {
+			return exact
+		}
+	}
+	return aSym(cx.tab.divSym(f, g))
+}
+
+// exactDiv returns f/k when the division is exact term by term, nil
+// otherwise.
+func (cx *actx) exactDiv(f *aform, k int64) *aform {
+	if f.c%k != 0 {
+		return nil
+	}
+	for _, c := range f.t {
+		if c%k != 0 {
+			return nil
+		}
+	}
+	out := aConst(f.c / k)
+	for m, c := range f.t {
+		out.addTerm(m, c/k)
+	}
+	return out
+}
+
+// mod returns f % g: zero when the fact set proves divisibility or the
+// division is exact, a derived remainder symbol otherwise.
+func (cx *actx) mod(f, g *aform) *aform {
+	if f == nil || g == nil {
+		return nil
+	}
+	f, g = cx.canon(f), cx.canon(g)
+	if f == nil || g == nil {
+		return nil
+	}
+	if g.isConst() && g.c != 0 && cx.exactDiv(f, g.c) != nil {
+		return aConst(0)
+	}
+	if cx.modZero(f, g) {
+		return aConst(0)
+	}
+	return aSym(cx.tab.modSym(f, g))
+}
+
+// modZero reports whether the fact set proves f ≡ 0 (mod g).
+func (cx *actx) modZero(f, g *aform) bool {
+	for _, mf := range cx.facts.modZ {
+		if cx.equal(f, cx.canon(mf.a.clone())) && cx.equal(g, cx.canon(mf.b.clone())) {
+			return true
+		}
+	}
+	return false
+}
+
+// normalize applies the quotient rewrites licensed by divisibility
+// facts: a term k·q with q = e/d collapses to (k/d)·e when d is a
+// constant dividing k and e ≡ 0 (mod d); a product q·s with q = e/s
+// collapses to e when e ≡ 0 (mod s). These are exactly the shapes
+// produced by block-aligned kernels (3*(lo/3), (lo/b)*b).
+func (cx *actx) normalize(f *aform) *aform {
+	if f == nil {
+		return nil
+	}
+	for iter := 0; iter < 8; iter++ {
+		rewrote := false
+		for m, c := range f.t {
+			if m.y < 0 {
+				s := cx.tab.syms[m.x]
+				if s.kind != symDiv || !s.b.isConst() || s.b.c == 0 || c%s.b.c != 0 {
+					continue
+				}
+				if !cx.modZeroStored(s.a, s.b) {
+					continue
+				}
+				f.addTerm(m, -c)
+				f = cx.addRaw(f, cx.scale(s.a.clone(), c/s.b.c))
+				rewrote = true
+				break
+			}
+			// Quadratic: quotient times its own (symbolic) divisor.
+			for _, pair := range [2][2]symID{{m.x, m.y}, {m.y, m.x}} {
+				q, other := cx.tab.syms[pair[0]], pair[1]
+				if q.kind != symDiv || !cx.equal(q.b, aSym(other)) || !cx.modZeroStored(q.a, q.b) {
+					continue
+				}
+				f.addTerm(m, -c)
+				f = cx.addRaw(f, cx.scale(q.a.clone(), c))
+				rewrote = true
+				break
+			}
+			if rewrote {
+				break
+			}
+		}
+		if !rewrote {
+			break
+		}
+	}
+	return f
+}
+
+// modZeroStored matches a divisibility fact against stored (already
+// canonical at creation time) operand forms, additionally canonicalizing
+// both sides so later equality facts (b == 3) connect.
+func (cx *actx) modZeroStored(a, b *aform) bool {
+	for _, mf := range cx.facts.modZ {
+		am := cx.canonNoNorm(mf.a)
+		bm := cx.canonNoNorm(mf.b)
+		if sameForm(cx.canonNoNorm(a), am) && sameForm(cx.canonNoNorm(b), bm) {
+			return true
+		}
+	}
+	return false
+}
+
+// canonNoNorm applies equality substitution without the quotient
+// rewrites (which would recurse through normalize).
+func (cx *actx) canonNoNorm(f *aform) *aform {
+	if f == nil {
+		return nil
+	}
+	out := f.clone()
+	for iter := 0; iter < 8; iter++ {
+		changed := false
+		for _, eq := range cx.facts.eq {
+			if out.mentions(eq.s) {
+				next := aConst(out.c)
+				for m, c := range out.t {
+					switch {
+					case !m.mentions(eq.s):
+						next.addTerm(m, c)
+					case m.y < 0:
+						next = cx.addRaw(next, rawScale(eq.f, c))
+					default:
+						return out // quadratic eq-substitution: give up, match as-is
+					}
+					if next == nil {
+						return out
+					}
+				}
+				out = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}
+
+func rawScale(f *aform, k int64) *aform {
+	out := &aform{c: f.c * k}
+	for m, c := range f.t {
+		out.addTerm(m, c*k)
+	}
+	return out
+}
+
+// sameForm is structural equality of two (already canonical) forms.
+func sameForm(f, g *aform) bool {
+	if f == nil || g == nil {
+		return false
+	}
+	if f.c != g.c || len(f.t) != len(g.t) {
+		return false
+	}
+	for m, c := range f.t {
+		if g.t[m] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// equal reports whether f and g denote the same value under the facts.
+func (cx *actx) equal(f, g *aform) bool {
+	if f == nil || g == nil {
+		return false
+	}
+	d := cx.sub(cx.canon(f.clone()), cx.canon(g.clone()))
+	return d != nil && d.isZero()
+}
+
+// provableNonneg reports whether the facts prove f >= 0: constant sign,
+// a matching lower-bound fact (up to a constant offset), or a positive
+// combination of symbols that are nonnegative by construction or by
+// fact.
+func (cx *actx) provableNonneg(f *aform) bool {
+	if f == nil {
+		return false
+	}
+	f = cx.canon(f.clone())
+	if f == nil {
+		return false
+	}
+	if f.isConst() {
+		return f.c >= 0
+	}
+	for _, lb := range cx.facts.lb {
+		d := cx.sub(f, cx.canon(lb.f.clone()))
+		if d != nil && d.isConst() && lb.min+d.c >= 0 {
+			return true
+		}
+	}
+	if f.c < 0 {
+		return false
+	}
+	for m, c := range f.t {
+		if c < 0 || !cx.monoNonneg(m) {
+			return false
+		}
+	}
+	return true
+}
+
+func (cx *actx) monoNonneg(m mono) bool {
+	if !cx.symNonneg(m.x) {
+		return false
+	}
+	return m.y < 0 || cx.symNonneg(m.y)
+}
+
+// symNonneg reports whether a single symbol is provably >= 0.
+func (cx *actx) symNonneg(s symID) bool {
+	info := cx.tab.syms[s]
+	if info.nonneg {
+		return true
+	}
+	switch info.kind {
+	case symDiv, symMod:
+		// Go truncated division: both operands nonnegative makes the
+		// quotient and remainder nonnegative (division by zero panics,
+		// which yields no value at all).
+		return cx.provableNonneg(info.a) && cx.provableNonneg(info.b)
+	case symLoop:
+		return info.lo != nil && cx.provableNonneg(info.lo)
+	}
+	for _, lb := range cx.facts.lb {
+		d := cx.sub(aSym(s), cx.canon(lb.f.clone()))
+		if d != nil && d.isConst() && lb.min+d.c >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// addLB records f >= min.
+func (cx *actx) addLB(f *aform, min int64) {
+	if f == nil {
+		return
+	}
+	cx.facts.lb = append(cx.facts.lb, lbFact{f: f.clone(), min: min})
+}
+
+// addModZero records a ≡ 0 (mod b).
+func (cx *actx) addModZero(a, b *aform) {
+	if a == nil || b == nil {
+		return
+	}
+	cx.facts.modZ = append(cx.facts.modZ, modFact{a: a.clone(), b: b.clone()})
+}
+
+// addEq records s == f.
+func (cx *actx) addEq(s symID, f *aform) {
+	if f == nil || f.mentions(s) {
+		return
+	}
+	cx.facts.eq = append(cx.facts.eq, eqFact{s: s, f: f.clone()})
+}
+
+// ivl is a half-open symbolic interval [lo, hi).
+type ivl struct {
+	lo, hi *aform
+}
+
+// linCoeff returns the linear coefficient of symbol s in f, and whether
+// s appears only linearly (not inside any degree-2 monomial).
+func linCoeff(f *aform, s symID) (int64, bool) {
+	var coeff int64
+	for m, c := range f.t {
+		if !m.mentions(s) {
+			continue
+		}
+		if m.y >= 0 {
+			return 0, false
+		}
+		coeff = c
+	}
+	return coeff, true
+}
+
+// projectLoop eliminates a loop symbol from a write interval, returning
+// the union of [lo(i), hi(i)) over i in [L, H) as one interval — or an
+// invalid interval (nils) when no sound projection applies.
+//
+// Two projections are sound:
+//
+//   - telescoping: when the per-iteration stride lo(i+1)-lo(i) equals
+//     the width hi(i)-lo(i), successive intervals tile, and the union is
+//     contained in [lo(L), hi(H-1)) for ANY sign of the symbolic stride:
+//     a nonempty contribution forces the width positive, which orders
+//     the endpoints; empty contributions add nothing. This is the shape
+//     of block-panel writes (y[ib*b : ib*b+b]).
+//
+//   - constant coefficient: when the loop symbol appears only linearly
+//     with constant coefficients, both endpoints are monotone in i and
+//     substituting the extreme iterations bounds the union. This is the
+//     shape of strided scalar writes (y[3*ib+d]).
+func projectLoop(cx *actx, v ivl, s symID) ivl {
+	top := ivl{}
+	info := cx.tab.syms[s]
+	if !v.lo.mentions(s) && !v.hi.mentions(s) {
+		return v
+	}
+	if info.lo == nil || info.hi == nil {
+		return top
+	}
+	last := cx.sub(info.hi, aConst(1))
+
+	width := cx.sub(v.hi, v.lo)
+	loNext := cx.subst(v.lo, s, cx.add(aSym(s), aConst(1)))
+	if stride := cx.sub(loNext, v.lo); stride != nil && width != nil && cx.equal(stride, width) {
+		return ivl{lo: cx.subst(v.lo, s, info.lo), hi: cx.subst(v.hi, s, last)}
+	}
+
+	cLo, okLo := linCoeff(v.lo, s)
+	cHi, okHi := linCoeff(v.hi, s)
+	if !okLo || !okHi {
+		return top
+	}
+	out := ivl{}
+	if cLo >= 0 {
+		out.lo = cx.subst(v.lo, s, info.lo)
+	} else {
+		out.lo = cx.subst(v.lo, s, last)
+	}
+	if cHi >= 0 {
+		out.hi = cx.subst(v.hi, s, last)
+	} else {
+		out.hi = cx.subst(v.hi, s, info.lo)
+	}
+	return out
+}
+
+// contains reports whether the facts prove inner ⊆ [lo, hi).
+func (cx *actx) contains(inner ivl, lo, hi *aform) bool {
+	if inner.lo == nil || inner.hi == nil {
+		return false
+	}
+	return cx.provableNonneg(cx.sub(inner.lo, lo)) &&
+		cx.provableNonneg(cx.sub(hi, inner.hi))
+}
+
+// evalForm evaluates a form concretely given base-variable values,
+// resolving derived quotient/remainder symbols recursively. It is the
+// oracle the FuzzOwnedRange harness checks the symbolic engine against.
+// The second result is false on division by zero or an unbound symbol.
+func (cx *actx) evalForm(f *aform, val func(symID) (int64, bool)) (int64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	var evalSym func(s symID) (int64, bool)
+	evalSym = func(s symID) (int64, bool) {
+		info := cx.tab.syms[s]
+		switch info.kind {
+		case symDiv, symMod:
+			a, okA := cx.evalWith(info.a, evalSym)
+			b, okB := cx.evalWith(info.b, evalSym)
+			if !okA || !okB || b == 0 {
+				return 0, false
+			}
+			if info.kind == symDiv {
+				return a / b, true
+			}
+			return a % b, true
+		default:
+			return val(s)
+		}
+	}
+	return cx.evalWith(f, evalSym)
+}
+
+func (cx *actx) evalWith(f *aform, evalSym func(symID) (int64, bool)) (int64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	total := f.c
+	for m, c := range f.t {
+		x, ok := evalSym(m.x)
+		if !ok {
+			return 0, false
+		}
+		v := x
+		if m.y >= 0 {
+			y, ok := evalSym(m.y)
+			if !ok {
+				return 0, false
+			}
+			v *= y
+		}
+		total += c * v
+	}
+	return total, true
+}
+
+// describe renders a form for diagnostics: parameter and field symbols
+// by name, everything else structurally.
+func (cx *actx) describe(f *aform) string {
+	if f == nil {
+		return "?"
+	}
+	var parts []string
+	if f.c != 0 || len(f.t) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", f.c))
+	}
+	keys := make([]mono, 0, len(f.t))
+	for m := range f.t {
+		keys = append(keys, m)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].x != keys[j].x {
+			return keys[i].x < keys[j].x
+		}
+		return keys[i].y < keys[j].y
+	})
+	for _, m := range keys {
+		c := f.t[m]
+		term := cx.symName(m.x)
+		if m.y >= 0 {
+			term += "*" + cx.symName(m.y)
+		}
+		if c != 1 {
+			term = fmt.Sprintf("%d*%s", c, term)
+		}
+		parts = append(parts, term)
+	}
+	return strings.Join(parts, "+")
+}
+
+func (cx *actx) symName(s symID) string {
+	info := cx.tab.syms[s]
+	switch info.kind {
+	case symObj:
+		return info.obj.Name()
+	case symField:
+		return info.obj.Name() + "." + info.field
+	case symLoop:
+		return fmt.Sprintf("i%d", s)
+	case symDiv:
+		return "(" + cx.describe(info.a) + ")/(" + cx.describe(info.b) + ")"
+	case symMod:
+		return "(" + cx.describe(info.a) + ")%(" + cx.describe(info.b) + ")"
+	}
+	return fmt.Sprintf("u%d", s)
+}

@@ -1,0 +1,413 @@
+package lint
+
+import "testing"
+
+// newTestCtx returns a fresh arithmetic context with an empty fact set.
+func newTestCtx() *actx {
+	return &actx{tab: newSymtab(), facts: &factSet{}}
+}
+
+func TestAffineRingOps(t *testing.T) {
+	cx := newTestCtx()
+	a := cx.tab.anonSym(false)
+	b := cx.tab.anonSym(false)
+
+	// (a + 2) + (b - 2) = a + b
+	sum := cx.add(cx.add(aSym(a), aConst(2)), cx.sub(aSym(b), aConst(2)))
+	if !cx.equal(sum, cx.add(aSym(a), aSym(b))) {
+		t.Fatalf("constant terms did not cancel: %s", cx.describe(sum))
+	}
+
+	// 3·(a + b) - 3a - 3b = 0
+	zero := cx.sub(cx.scale(cx.add(aSym(a), aSym(b)), 3),
+		cx.add(cx.scale(aSym(a), 3), cx.scale(aSym(b), 3)))
+	if zero == nil || !zero.isZero() {
+		t.Fatalf("distributed scale did not cancel: %s", cx.describe(zero))
+	}
+
+	// (a + 1)·(b + 2) = ab + 2a + b + 2
+	prod := cx.mul(cx.add(aSym(a), aConst(1)), cx.add(aSym(b), aConst(2)))
+	want := cx.add(cx.mul(aSym(a), aSym(b)),
+		cx.add(cx.scale(aSym(a), 2), cx.add(aSym(b), aConst(2))))
+	if !cx.equal(prod, want) {
+		t.Fatalf("product mismatch: got %s want %s", cx.describe(prod), cx.describe(want))
+	}
+
+	// Degree cap: a·b times a exceeds degree 2 and must widen to top.
+	if cx.mul(cx.mul(aSym(a), aSym(b)), aSym(a)) != nil {
+		t.Fatal("degree-3 product should be top")
+	}
+}
+
+func TestAffineDivMod(t *testing.T) {
+	cx := newTestCtx()
+	a := cx.tab.anonSym(false)
+	b := cx.tab.anonSym(false)
+
+	// Exact term-wise division: (2a + 4) / 2 = a + 2.
+	q := cx.div(cx.add(cx.scale(aSym(a), 2), aConst(4)), aConst(2))
+	if !cx.equal(q, cx.add(aSym(a), aConst(2))) {
+		t.Fatalf("exact division failed: %s", cx.describe(q))
+	}
+
+	// Exact division makes the remainder vanish.
+	if r := cx.mod(cx.scale(aSym(a), 6), aConst(3)); r == nil || !r.isZero() {
+		t.Fatalf("6a %% 3 should be 0, got %s", cx.describe(r))
+	}
+
+	// Division by constant zero is top, not a panic.
+	if cx.div(aSym(a), aConst(0)) != nil {
+		t.Fatal("division by zero should be top")
+	}
+
+	// Inexact divisions intern: the same quotient written twice is the
+	// same symbol, so the difference cancels.
+	d1 := cx.div(aSym(a), aSym(b))
+	d2 := cx.div(aSym(a), aSym(b))
+	if diff := cx.sub(d1, d2); diff == nil || !diff.isZero() {
+		t.Fatalf("equal quotients did not unify: %s", cx.describe(diff))
+	}
+}
+
+func TestAffineQuotientCollapse(t *testing.T) {
+	// Constant divisor: with lo ≡ 0 (mod 3), 3·(lo/3) collapses to lo.
+	cx := newTestCtx()
+	lo := cx.tab.anonSym(true)
+	cx.addModZero(aSym(lo), aConst(3))
+	q := cx.div(aSym(lo), aConst(3))
+	if got := cx.scale(q, 3); !cx.equal(got, aSym(lo)) {
+		t.Fatalf("3*(lo/3) = %s, want lo", cx.describe(got))
+	}
+
+	// Symbolic divisor: with lo ≡ 0 (mod b), (lo/b)·b collapses to lo.
+	cx = newTestCtx()
+	lo = cx.tab.anonSym(true)
+	b := cx.tab.anonSym(true)
+	cx.addModZero(aSym(lo), aSym(b))
+	q = cx.div(aSym(lo), aSym(b))
+	if got := cx.mul(q, aSym(b)); !cx.equal(got, aSym(lo)) {
+		t.Fatalf("(lo/b)*b = %s, want lo", cx.describe(got))
+	}
+
+	// Without the divisibility fact the product must stay symbolic:
+	// truncated division loses the remainder.
+	cx = newTestCtx()
+	lo = cx.tab.anonSym(true)
+	b = cx.tab.anonSym(true)
+	q = cx.div(aSym(lo), aSym(b))
+	if got := cx.mul(q, aSym(b)); cx.equal(got, aSym(lo)) {
+		t.Fatal("(lo/b)*b collapsed without a divisibility fact")
+	}
+
+	// Equality facts connect: with b == 3 and lo ≡ 0 (mod b), the
+	// constant-divisor rewrite 3·(lo/3) = lo still fires.
+	cx = newTestCtx()
+	lo = cx.tab.anonSym(true)
+	b = cx.tab.anonSym(true)
+	cx.addEq(b, aConst(3))
+	cx.addModZero(aSym(lo), aSym(b))
+	q = cx.div(aSym(lo), aConst(3))
+	if got := cx.scale(q, 3); !cx.equal(got, aSym(lo)) {
+		t.Fatalf("3*(lo/3) under b==3 = %s, want lo", cx.describe(got))
+	}
+}
+
+func TestAffineEqualityCanon(t *testing.T) {
+	cx := newTestCtx()
+	b := cx.tab.anonSym(false)
+	x := cx.tab.anonSym(false)
+	cx.addEq(b, aConst(3))
+
+	if !cx.equal(aSym(b), aConst(3)) {
+		t.Fatal("b == 3 fact not applied")
+	}
+	// Substitution reaches inside quadratic monomials: b·x = 3x.
+	if !cx.equal(cx.mul(aSym(b), aSym(x)), cx.scale(aSym(x), 3)) {
+		t.Fatal("b*x != 3x under b == 3")
+	}
+}
+
+func TestAffineProvableNonneg(t *testing.T) {
+	cx := newTestCtx()
+	a := cx.tab.anonSym(false)
+	n := cx.tab.anonSym(true)
+	m := cx.tab.anonSym(true)
+
+	if !cx.provableNonneg(aConst(0)) || cx.provableNonneg(aConst(-1)) {
+		t.Fatal("constant signs misjudged")
+	}
+	if !cx.provableNonneg(aSym(n)) {
+		t.Fatal("nonneg-by-construction symbol not provable")
+	}
+	if cx.provableNonneg(aSym(a)) {
+		t.Fatal("unconstrained symbol should not be provably nonneg")
+	}
+
+	// Lower-bound facts shift by constant offsets: a >= 2 proves
+	// a - 2 >= 0 but not a - 3 >= 0.
+	cx.addLB(aSym(a), 2)
+	if !cx.provableNonneg(cx.sub(aSym(a), aConst(2))) {
+		t.Fatal("a - 2 not provable under a >= 2")
+	}
+	if cx.provableNonneg(cx.sub(aSym(a), aConst(3))) {
+		t.Fatal("a - 3 provable under a >= 2")
+	}
+
+	// Quotients and remainders of nonnegative operands are nonnegative.
+	if !cx.provableNonneg(cx.div(aSym(n), aSym(m))) {
+		t.Fatal("n/m not provable with nonneg operands")
+	}
+	if !cx.provableNonneg(cx.mod(aSym(n), aSym(m))) {
+		t.Fatal("n%m not provable with nonneg operands")
+	}
+
+	// Positive combinations of nonneg monomials, including degree 2.
+	if !cx.provableNonneg(cx.add(cx.mul(aSym(n), aSym(m)), cx.scale(aSym(n), 2))) {
+		t.Fatal("n*m + 2n not provable")
+	}
+	if cx.provableNonneg(cx.sub(aSym(n), aSym(m))) {
+		t.Fatal("n - m should not be provable")
+	}
+}
+
+func TestAffineProjectTelescope(t *testing.T) {
+	cx := newTestCtx()
+	b := cx.tab.anonSym(true)
+	nw := cx.tab.anonSym(true)
+	i := cx.tab.loopSym(aConst(0), aSym(nw), true)
+
+	// Block-panel write y[i*b : i*b+b) over i in [0, nw): successive
+	// chunks tile, so the union telescopes to [0, nw*b).
+	lo := cx.mul(aSym(i), aSym(b))
+	v := ivl{lo: lo, hi: cx.add(lo, aSym(b))}
+	got := projectLoop(cx, v, i)
+	if !cx.equal(got.lo, aConst(0)) || !cx.equal(got.hi, cx.mul(aSym(nw), aSym(b))) {
+		t.Fatalf("telescoped to [%s, %s), want [0, nw*b)", cx.describe(got.lo), cx.describe(got.hi))
+	}
+
+	// A form that never mentions the loop symbol projects to itself.
+	c := ivl{lo: aSym(b), hi: cx.add(aSym(b), aConst(1))}
+	if got := projectLoop(cx, c, i); !cx.equal(got.lo, c.lo) || !cx.equal(got.hi, c.hi) {
+		t.Fatal("loop-free interval should project unchanged")
+	}
+
+	// Unknown iteration bounds make every projection top.
+	u := cx.tab.loopSym(nil, nil, false)
+	v = ivl{lo: aSym(u), hi: cx.add(aSym(u), aConst(1))}
+	if got := projectLoop(cx, v, u); got.lo != nil || got.hi != nil {
+		t.Fatal("projection over unbounded loop should be top")
+	}
+}
+
+func TestAffineProjectConstCoeff(t *testing.T) {
+	cx := newTestCtx()
+	d := cx.tab.anonSym(true)
+	n := cx.tab.anonSym(true)
+	i := cx.tab.loopSym(aConst(0), aSym(n), true)
+
+	// Strided scalar write y[3i+d] over i in [0, n): both endpoints are
+	// monotone, so the extremes bound the union: [d, 3(n-1)+d+1).
+	lo := cx.add(cx.scale(aSym(i), 3), aSym(d))
+	v := ivl{lo: lo, hi: cx.add(lo, aConst(1))}
+	got := projectLoop(cx, v, i)
+	wantHi := cx.add(cx.scale(aSym(n), 3), cx.sub(aSym(d), aConst(2)))
+	if !cx.equal(got.lo, aSym(d)) || !cx.equal(got.hi, wantHi) {
+		t.Fatalf("projected to [%s, %s), want [d, 3n+d-2)", cx.describe(got.lo), cx.describe(got.hi))
+	}
+
+	// Negative coefficient flips which extreme bounds which endpoint:
+	// y[n-i] over i in [0, m) unions to [n-(m-1), n+1).
+	m := cx.tab.anonSym(true)
+	j := cx.tab.loopSym(aConst(0), aSym(m), true)
+	lo = cx.sub(aSym(n), aSym(j))
+	v = ivl{lo: lo, hi: cx.add(lo, aConst(1))}
+	got = projectLoop(cx, v, j)
+	wantLo := cx.add(cx.sub(aSym(n), aSym(m)), aConst(1))
+	if !cx.equal(got.lo, wantLo) || !cx.equal(got.hi, cx.add(aSym(n), aConst(1))) {
+		t.Fatalf("projected to [%s, %s), want [n-m+1, n+1)", cx.describe(got.lo), cx.describe(got.hi))
+	}
+
+	// Quadratic dependence on the loop symbol has no sound projection.
+	lo = cx.mul(aSym(i), aSym(i))
+	v = ivl{lo: lo, hi: cx.add(lo, aConst(1))}
+	if got := projectLoop(cx, v, i); got.lo != nil || got.hi != nil {
+		t.Fatal("quadratic loop dependence should project to top")
+	}
+}
+
+func TestAffineContains(t *testing.T) {
+	cx := newTestCtx()
+	n := cx.tab.anonSym(true)
+
+	if !cx.contains(ivl{lo: aConst(2), hi: aConst(5)}, aConst(0), aConst(8)) {
+		t.Fatal("[2,5) should be inside [0,8)")
+	}
+	if cx.contains(ivl{lo: aConst(2), hi: aConst(9)}, aConst(0), aConst(8)) {
+		t.Fatal("[2,9) should not be inside [0,8)")
+	}
+	// Symbolic: [n, n+2) ⊆ [0, n+5) needs n >= 0 (by construction here).
+	inner := ivl{lo: aSym(n), hi: cx.add(aSym(n), aConst(2))}
+	if !cx.contains(inner, aConst(0), cx.add(aSym(n), aConst(5))) {
+		t.Fatal("[n,n+2) should be inside [0,n+5)")
+	}
+	// Top intervals are never contained.
+	if cx.contains(ivl{}, aConst(0), aConst(8)) {
+		t.Fatal("top interval should not be contained")
+	}
+}
+
+// buildAffineExpr consumes fuzz bytes to build one random affine index
+// expression two ways at once: as a symbolic form through the engine's
+// own operations, and as a concrete evaluator that mirrors Go's integer
+// semantics directly. Divergence between the two is an engine bug.
+func buildAffineExpr(cx *actx, data []byte, pos *int, depth int, base []symID) (*aform, func(func(symID) (int64, bool)) (int64, bool)) {
+	next := func() byte {
+		if *pos >= len(data) {
+			return 0
+		}
+		b := data[*pos]
+		*pos++
+		return b
+	}
+	op := next()
+	if depth == 0 {
+		op %= 2 // leaves only
+	} else {
+		op %= 7
+	}
+	switch op {
+	case 0: // small constant
+		c := int64(int8(next())) % 4
+		return aConst(c), func(func(symID) (int64, bool)) (int64, bool) { return c, true }
+	case 1: // base variable
+		s := base[int(next())%len(base)]
+		return aSym(s), func(val func(symID) (int64, bool)) (int64, bool) { return val(s) }
+	}
+	lf, le := buildAffineExpr(cx, data, pos, depth-1, base)
+	rf, re := buildAffineExpr(cx, data, pos, depth-1, base)
+	bin := func(form *aform, f func(l, r int64) (int64, bool)) (*aform, func(func(symID) (int64, bool)) (int64, bool)) {
+		return form, func(val func(symID) (int64, bool)) (int64, bool) {
+			l, ok := le(val)
+			if !ok {
+				return 0, false
+			}
+			r, ok := re(val)
+			if !ok {
+				return 0, false
+			}
+			return f(l, r)
+		}
+	}
+	switch op {
+	case 2:
+		return bin(cx.add(lf, rf), func(l, r int64) (int64, bool) { return l + r, true })
+	case 3:
+		return bin(cx.sub(lf, rf), func(l, r int64) (int64, bool) { return l - r, true })
+	case 4:
+		return bin(cx.mul(lf, rf), func(l, r int64) (int64, bool) { return l * r, true })
+	case 5:
+		return bin(cx.div(lf, rf), func(l, r int64) (int64, bool) {
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		})
+	default:
+		return bin(cx.mod(lf, rf), func(l, r int64) (int64, bool) {
+			if r == 0 {
+				return 0, false
+			}
+			return l % r, true
+		})
+	}
+}
+
+// FuzzOwnedRange cross-checks the symbolic engine against concrete
+// execution: a random affine index expression over a plain variable, a
+// nonnegative variable, and a loop induction variable must (1) evaluate
+// — via evalForm, resolving derived quotient/remainder symbols — to
+// exactly the value the source expression computes, and (2) when used as
+// a per-iteration write interval, stay inside whatever interval
+// projectLoop claims covers the whole loop. This is the fuzzed analogue
+// of the ownership verifier's core soundness argument: every concrete
+// write an analyzed loop performs lands inside the symbolic range the
+// analysis certifies.
+func FuzzOwnedRange(f *testing.F) {
+	f.Add([]byte{3, 2, 3, 2, 4, 1, 2, 1, 0, 0, 2})             // i*b-ish shapes
+	f.Add([]byte{5, 250, 4, 3, 2, 4, 1, 2, 1, 1, 2, 1, 0, 5})  // strided with offset
+	f.Add([]byte{4, 1, 3, 1, 5, 1, 2, 1, 1, 0, 3, 1, 0, 9, 7}) // quotients
+	f.Add([]byte{2, 3, 2, 2, 6, 1, 2, 1, 1, 0, 2, 1, 2, 8})    // remainders
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			return
+		}
+		cx := newTestCtx()
+		hi := int64(data[0]%6) + 1 // loop runs over [0, hi)
+		av := int64(int8(data[1])) % 6
+		nv := int64(data[2] % 6)
+		w := int64(data[3]%3) + 1 // per-iteration write width
+		a := cx.tab.anonSym(false)
+		n := cx.tab.anonSym(true)
+		i := cx.tab.loopSym(aConst(0), aConst(hi), true)
+
+		pos := 4
+		form, eval := buildAffineExpr(cx, data, &pos, 4, []symID{a, n, i})
+		if form == nil {
+			return // widened to top: the engine makes no claim
+		}
+		val := func(iv int64) func(symID) (int64, bool) {
+			return func(s symID) (int64, bool) {
+				switch s {
+				case a:
+					return av, true
+				case n:
+					return nv, true
+				case i:
+					return iv, true
+				}
+				return 0, false
+			}
+		}
+
+		// (1) Oracle: wherever the source expression is defined, the
+		// symbolic form must evaluate to the same value.
+		for iv := int64(0); iv < hi; iv++ {
+			cv, cok := eval(val(iv))
+			if !cok {
+				continue // division by zero: no claim to check
+			}
+			sv, sok := cx.evalForm(form, val(iv))
+			if !sok {
+				t.Fatalf("form %s undefined where source evaluates to %d (a=%d n=%d i=%d)",
+					cx.describe(form), cv, av, nv, iv)
+			}
+			if sv != cv {
+				t.Fatalf("form %s = %d, source = %d (a=%d n=%d i=%d)",
+					cx.describe(form), sv, cv, av, nv, iv)
+			}
+		}
+
+		// (2) Projection soundness: every concrete iteration's write
+		// interval [f(i), f(i)+w) must land inside the projected union.
+		v := ivl{lo: form, hi: cx.add(form, aConst(w))}
+		proj := projectLoop(cx, v, i)
+		if proj.lo == nil || proj.hi == nil {
+			return // top: the analysis would reject, which is always sound
+		}
+		for iv := int64(0); iv < hi; iv++ {
+			fv, ok := cx.evalForm(form, val(iv))
+			if !ok {
+				continue
+			}
+			pl, okL := cx.evalForm(proj.lo, val(iv))
+			ph, okH := cx.evalForm(proj.hi, val(iv))
+			if !okL || !okH {
+				continue
+			}
+			if fv < pl || fv+w > ph {
+				t.Fatalf("iteration %d writes [%d, %d) outside projected [%d, %d); form=%s proj=[%s, %s)",
+					iv, fv, fv+w, pl, ph, cx.describe(form), cx.describe(proj.lo), cx.describe(proj.hi))
+			}
+		}
+	})
+}

@@ -38,6 +38,7 @@ func DefaultHotRoots() []string {
 		"Exchange", "Dot", "MulVecBSR", // halo protocol (scalar + blocked)
 		"Send", "Recv", "RecvAs", "Barrier", // point-to-point + barrier
 		"AllReduceSum", "AllReduceIntSum", "AllReduceMax", // typed collectives
+		"Dispatch", // shared-memory worker-pool fan-out
 	}
 }
 
@@ -51,6 +52,7 @@ func KernelPackages() []string {
 		"prometheus/internal/krylov",
 		"prometheus/internal/multigrid",
 		"prometheus/internal/par",
+		"prometheus/internal/pool",
 	}
 }
 

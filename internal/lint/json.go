@@ -1,5 +1,11 @@
 package lint
 
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
 // JSONIssue is the machine-readable form of one finding.
 type JSONIssue struct {
 	File     string `json:"file"`
@@ -21,12 +27,14 @@ type JSONReport struct {
 	SuppressedByRule map[string]int `json:"suppressed_by_rule,omitempty"`
 }
 
-// NewJSONReport converts RunAll's results into the -json document.
+// NewJSONReport converts RunAll's results into the -json document. File
+// paths are reported relative to the working directory when possible, so
+// reports diff cleanly across checkouts and CI workspaces.
 func NewJSONReport(kept, suppressed []Issue) JSONReport {
 	rep := JSONReport{Findings: make([]JSONIssue, 0, len(kept)), Suppressed: len(suppressed)}
 	for _, iss := range kept {
 		rep.Findings = append(rep.Findings, JSONIssue{
-			File:     iss.Pos.Filename,
+			File:     relPath(iss.Pos.Filename),
 			Line:     iss.Pos.Line,
 			Column:   iss.Pos.Column,
 			Rule:     iss.Rule,
@@ -41,4 +49,21 @@ func NewJSONReport(kept, suppressed []Issue) JSONReport {
 		}
 	}
 	return rep
+}
+
+// relPath rewrites an absolute finding path relative to the working
+// directory when the file lies under it; other paths pass through.
+func relPath(p string) string {
+	if !filepath.IsAbs(p) {
+		return p
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return p
+	}
+	rel, err := filepath.Rel(wd, p)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return p
+	}
+	return rel
 }

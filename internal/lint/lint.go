@@ -34,7 +34,19 @@
 //   - obs-discipline: obs event/metric names must be tree-unique string
 //     constants (never fmt.Sprintf), and every obs.Start span must be
 //     ended on all paths (End/EndFlops, deferred End, or the balanced
-//     obs.Start(id).End() chain).
+//     obs.Start(id).End() chain);
+//   - shared-write: the ownership verifier — every MulVecRange contract
+//     implementation must provably confine its writes to y[lo:hi]
+//     (symbolic interval arithmetic over index expressions, see
+//     affine.go and ownership.go), and every goroutine spawned in a
+//     kernel package may write only spawn-distinct or received state;
+//   - sync-discipline: raw synchronization (channels, sync, atomic,
+//     go) is banned from compute-kernel hot paths and confined, in the
+//     substrate, to methods of package-local types or credit channels;
+//   - range-partition: fan-out loops handing row ranges to workers must
+//     match the telescoping partition shape (hi := lo + width; optional
+//     last-iteration clamp; lo = hi) with provably nonnegative width,
+//     so chunks are disjoint and cover [0, n) by construction.
 //
 // A finding can be suppressed in place with a directive comment on the
 // same line or the line above:
@@ -122,6 +134,9 @@ func DefaultRules() []Rule {
 		MapOrder{},
 		BlockShape{},
 		&ObsDiscipline{},
+		SharedWrite{},
+		&SyncDiscipline{},
+		RangePartition{},
 	}
 }
 
@@ -153,7 +168,9 @@ func RunAll(pkgs []*Package, rules []Rule) (kept, suppressed []Issue) {
 	return kept, suppressed
 }
 
-// sortIssues orders findings by position, then rule name.
+// sortIssues orders findings by position, then rule name, then message,
+// so repeated runs (and runs over differently-ordered package maps)
+// produce byte-identical reports.
 func sortIssues(out []Issue) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -166,7 +183,10 @@ func sortIssues(out []Issue) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 }
 

@@ -442,6 +442,9 @@ func TestDefaultRulesComplete(t *testing.T) {
 		"map-order":             true,
 		"block-shape":           true,
 		"obs-discipline":        true,
+		"shared-write":          true,
+		"sync-discipline":       true,
+		"range-partition":       true,
 	}
 	names := make([]string, 0, len(want))
 	for _, r := range DefaultRules() {

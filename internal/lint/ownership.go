@@ -1,0 +1,1589 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the interprocedural ownership analysis behind the
+// shared-write rule: a symbolic executor over function bodies that
+// computes, for every function, the set of index intervals it writes in
+// each slice reachable from its parameters and receiver. Arithmetic is
+// the affine engine of affine.go; facts flow in from dominating guards;
+// loop-carried writes are projected to closed intervals at loop exit.
+//
+// The headline theorem is the Kernel contract (pool.Kernel): a method
+//
+//	MulVecRange(x, y []float64, lo, hi int)
+//
+// must write y only inside [lo, hi), must not write x, and must not
+// write shared state (receiver fields, globals, escaping slices). Worker
+// goroutines then compose safely from any disjoint partition of rows —
+// which the range-partition rule proves at the dispatch site.
+//
+// Soundness boundaries (see DESIGN.md §9 for the full discussion):
+//
+//   - writes through a subslice view land inside the view's base range
+//     unconditionally: Go's bounds checking is part of the proof system —
+//     an out-of-range index panics, and a panic is not a write;
+//   - blocks guarded by check.Enabled are exempt: they are the runtime
+//     sanitizer's own bookkeeping (promdebug builds only);
+//   - a call into another package with a tracked slice argument is
+//     assumed to write that whole slice (top), never to prove a range;
+//   - anything the walker cannot model havocs to an anonymous unknown,
+//     which summary sanitization then widens to top. Widening is always
+//     toward "writes more", so a clean bill of health is trustworthy.
+
+// refKind classifies the root a slice value aliases.
+type refKind uint8
+
+const (
+	refLocal     refKind = iota // allocated in this function: private
+	refParam                    // one of the function's slice parameters
+	refRecvField                // a slice field of the receiver
+	refShared                   // global, captured, or unknowable alias
+)
+
+// ownView is a slice value: a window [off, off+ln) into some root.
+// A nil off means the window's position in the root is unknown.
+type ownView struct {
+	kind  refKind
+	param int          // refParam: flattened parameter index
+	owner types.Object // refRecvField: the receiver object
+	field string       // refRecvField
+	off   *aform
+	ln    *aform
+}
+
+// writeRec is one write effect in a function summary: an interval of a
+// root. A top (nil-endpoint) interval means "somewhere in this root".
+type writeRec struct {
+	view ownView
+	iv   ivl
+	pos  token.Pos
+	why  string
+}
+
+// fnSummary is the memoized effect summary of one function.
+type fnSummary struct {
+	params []types.Object
+	recv   types.Object
+	writes []writeRec
+}
+
+// binding is the abstract value of an integer variable: the value lies
+// in [f, f+slack]. nonneg records "provably >= 0" for values whose form
+// was widened away (products of slack-carrying factors).
+type binding struct {
+	f      *aform
+	slack  int64
+	nonneg bool
+}
+
+func (w *ownWalk) bindingNonneg(b binding) bool {
+	return b.nonneg || (b.f != nil && w.cx.provableNonneg(b.f))
+}
+
+// ownScope is the mutable variable environment, cloned at branches.
+type ownScope struct {
+	vars  map[types.Object]binding
+	views map[types.Object]ownView
+}
+
+func (s *ownScope) clone() *ownScope {
+	out := &ownScope{
+		vars:  make(map[types.Object]binding, len(s.vars)),
+		views: make(map[types.Object]ownView, len(s.views)),
+	}
+	for k, v := range s.vars {
+		out.vars[k] = v
+	}
+	for k, v := range s.views {
+		out.views[k] = v
+	}
+	return out
+}
+
+// ownEngine owns the per-package symbol table and summary cache.
+type ownEngine struct {
+	pkg       *Package
+	ix        *funcIndex
+	tab       *symtab
+	checkPath string
+	summaries map[types.Object]*fnSummary
+	inprog    map[types.Object]bool
+}
+
+func newOwnEngine(pkg *Package, checkPath string) *ownEngine {
+	return &ownEngine{
+		pkg:       pkg,
+		ix:        indexFuncs(pkg),
+		tab:       newSymtab(),
+		checkPath: checkPath,
+		summaries: make(map[types.Object]*fnSummary),
+		inprog:    make(map[types.Object]bool),
+	}
+}
+
+// ownWalk is one symbolic execution of one function body.
+type ownWalk struct {
+	e      *ownEngine
+	cx     *actx
+	scope  *ownScope
+	writes []writeRec
+	recv   types.Object
+	params []types.Object
+	span   [2]token.Pos // body extent, for is-local-by-position
+	// onLoop lets the range-partition rule observe each for statement
+	// with the environment as of loop entry.
+	onLoop func(*ast.ForStmt, *ownWalk)
+}
+
+// summarizeDecl computes (and memoizes) the write summary of a declared
+// function.
+func (e *ownEngine) summarizeDecl(d *ast.FuncDecl) *fnSummary {
+	obj := e.pkg.Info.Defs[d.Name]
+	if obj == nil {
+		return &fnSummary{writes: []writeRec{{view: ownView{kind: refShared}, pos: d.Pos(), why: "unresolved function"}}}
+	}
+	if s, ok := e.summaries[obj]; ok {
+		return s
+	}
+	if e.inprog[obj] {
+		// Recursion: assume the worst for the cycle member.
+		return &fnSummary{writes: []writeRec{{view: ownView{kind: refShared}, pos: d.Pos(), why: "recursive call cycle"}}}
+	}
+	e.inprog[obj] = true
+	w := e.newWalk(d)
+	w.exec(d.Body)
+	sum := w.finalize()
+	delete(e.inprog, obj)
+	e.summaries[obj] = sum
+	return sum
+}
+
+// newWalk seeds a walk environment from a function declaration: integer
+// parameters bind to their own symbols, slice parameters to whole-root
+// views.
+func (e *ownEngine) newWalk(d *ast.FuncDecl) *ownWalk {
+	w := &ownWalk{
+		e:     e,
+		cx:    &actx{tab: e.tab, facts: &factSet{}},
+		scope: &ownScope{vars: make(map[types.Object]binding), views: make(map[types.Object]ownView)},
+		span:  [2]token.Pos{d.Pos(), d.End()},
+	}
+	if d.Recv != nil && len(d.Recv.List) == 1 && len(d.Recv.List[0].Names) == 1 {
+		w.recv = e.pkg.Info.Defs[d.Recv.List[0].Names[0]]
+	}
+	idx := 0
+	for _, field := range d.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			idx++ // unnamed parameter still occupies a position
+			continue
+		}
+		for _, name := range names {
+			obj := e.pkg.Info.Defs[name]
+			if obj != nil {
+				if isSliceType(obj.Type()) {
+					w.scope.views[obj] = ownView{kind: refParam, param: idx, off: aConst(0), ln: aSym(e.lenSym(obj))}
+				} else if isIntType(obj.Type()) {
+					w.scope.vars[obj] = binding{f: aSym(e.tab.objSym(obj))}
+				}
+				w.params = append(w.params, obj)
+			} else {
+				w.params = append(w.params, nil)
+			}
+			idx++
+		}
+	}
+	return w
+}
+
+// lenSym interns the length symbol of a slice-valued object (len >= 0
+// by construction).
+func (e *ownEngine) lenSym(obj types.Object) symID {
+	return e.tab.intern("len%"+objKey(obj), symInfo{kind: symField, obj: obj, field: "$len", nonneg: true})
+}
+
+func objKey(obj types.Object) string {
+	return fmt.Sprintf("%s@%d", obj.Name(), obj.Pos())
+}
+
+func isSliceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// finalize drops private writes and widens any interval that mentions a
+// symbol not expressible in the caller's vocabulary (parameters and
+// receiver fields) to top.
+func (w *ownWalk) finalize() *fnSummary {
+	sum := &fnSummary{params: w.params, recv: w.recv}
+	for _, wr := range w.writes {
+		if wr.view.kind == refLocal {
+			continue
+		}
+		if !w.exportableForm(wr.iv.lo) || !w.exportableForm(wr.iv.hi) {
+			wr.iv = ivl{}
+		}
+		sum.writes = append(sum.writes, wr)
+	}
+	return sum
+}
+
+// exportableForm reports whether every symbol in f denotes a parameter,
+// a receiver field, a parameter length, or arithmetic over those.
+func (w *ownWalk) exportableForm(f *aform) bool {
+	if f == nil {
+		return false
+	}
+	ok := true
+	for m := range f.t {
+		if !w.exportableSym(m.x) || (m.y >= 0 && !w.exportableSym(m.y)) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+func (w *ownWalk) exportableSym(s symID) bool {
+	info := w.e.tab.syms[s]
+	switch info.kind {
+	case symObj, symField:
+		if info.obj == nil {
+			return false
+		}
+		if w.recv != nil && info.obj == w.recv {
+			return true
+		}
+		for _, p := range w.params {
+			if p != nil && info.obj == p {
+				return true
+			}
+		}
+		return false
+	case symDiv, symMod:
+		return w.exportableForm(info.a) && w.exportableForm(info.b)
+	}
+	return false
+}
+
+// obj resolves an identifier to its object (use or definition).
+func (w *ownWalk) obj(id *ast.Ident) types.Object {
+	if o := w.e.pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return w.e.pkg.Info.Defs[id]
+}
+
+// localObj reports whether the object is declared inside the walked
+// function (parameters and receiver included).
+func (w *ownWalk) localObj(obj types.Object) bool {
+	return obj != nil && obj.Pos() >= w.span[0] && obj.Pos() < w.span[1]
+}
+
+func (w *ownWalk) anon(nonneg bool) binding {
+	return binding{f: aSym(w.e.tab.anonSym(nonneg)), nonneg: nonneg}
+}
+
+// evalInt computes the abstract value of an integer expression.
+func (w *ownWalk) evalInt(e ast.Expr) binding {
+	e = ast.Unparen(e)
+	if tv, ok := w.e.pkg.Info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return binding{f: aConst(v)}
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := w.obj(x)
+		if obj == nil {
+			return w.anon(false)
+		}
+		if b, ok := w.scope.vars[obj]; ok {
+			return b
+		}
+		if isIntType(obj.Type()) {
+			b := binding{f: aSym(w.e.tab.objSym(obj))}
+			w.scope.vars[obj] = b
+			return b
+		}
+		return w.anon(false)
+	case *ast.BinaryExpr:
+		return w.evalBinary(x)
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB {
+			b := w.evalInt(x.X)
+			if b.slack != 0 {
+				return w.anon(false)
+			}
+			return binding{f: w.cx.scale(b.f, -1)}
+		}
+		if x.Op == token.ADD {
+			return w.evalInt(x.X)
+		}
+		return w.anon(false)
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			base := w.obj(id)
+			if base != nil && (base == w.recv || w.isParamObj(base)) {
+				return binding{f: aSym(w.e.tab.fieldSym(base, x.Sel.Name))}
+			}
+		}
+		return w.anon(false)
+	case *ast.CallExpr:
+		return w.evalCallInt(x)
+	}
+	return w.anon(false)
+}
+
+func (w *ownWalk) isParamObj(obj types.Object) bool {
+	for _, p := range w.params {
+		if p != nil && p == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *ownWalk) evalBinary(x *ast.BinaryExpr) binding {
+	a, b := w.evalInt(x.X), w.evalInt(x.Y)
+	switch x.Op {
+	case token.ADD:
+		if a.f == nil || b.f == nil {
+			return binding{nonneg: w.bindingNonneg(a) && w.bindingNonneg(b)}
+		}
+		return binding{f: w.cx.add(a.f, b.f), slack: a.slack + b.slack}
+	case token.SUB:
+		if a.f == nil || b.f == nil || b.slack != 0 {
+			return w.anon(false)
+		}
+		return binding{f: w.cx.sub(a.f, b.f), slack: a.slack}
+	case token.MUL:
+		nn := w.bindingNonneg(a) && w.bindingNonneg(b)
+		if a.f == nil || b.f == nil || a.slack != 0 || b.slack != 0 {
+			return binding{nonneg: nn}
+		}
+		f := w.cx.mul(a.f, b.f)
+		if f == nil {
+			return binding{nonneg: nn}
+		}
+		return binding{f: f}
+	case token.QUO:
+		nn := w.bindingNonneg(a) && w.bindingNonneg(b)
+		if a.f == nil || b.f == nil || a.slack != 0 || b.slack != 0 {
+			return binding{nonneg: nn}
+		}
+		return binding{f: w.cx.div(a.f, b.f)}
+	case token.REM:
+		nn := w.bindingNonneg(a) && w.bindingNonneg(b)
+		if a.f == nil || b.f == nil || a.slack != 0 || b.slack != 0 {
+			return binding{nonneg: nn}
+		}
+		return binding{f: w.cx.mod(a.f, b.f)}
+	}
+	return w.anon(false)
+}
+
+// evalCallInt models len (exactly) and integer conversions; every other
+// call yields an unknown.
+func (w *ownWalk) evalCallInt(call *ast.CallExpr) binding {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := w.e.pkg.Info.Uses[id].(*types.Builtin); builtin && len(call.Args) >= 1 {
+			switch id.Name {
+			case "len":
+				return binding{f: w.lenForm(call.Args[0]), nonneg: true}
+			case "cap":
+				return w.anon(true)
+			}
+		}
+	}
+	if tv, ok := w.e.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return w.evalInt(call.Args[0]) // integer conversion keeps the value
+	}
+	return w.anon(false)
+}
+
+// lenForm returns the symbolic length of a slice expression.
+func (w *ownWalk) lenForm(e ast.Expr) *aform {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := w.obj(x)
+		if obj == nil {
+			return aSym(w.e.tab.anonSym(true))
+		}
+		if v, ok := w.scope.views[obj]; ok && v.ln != nil {
+			return v.ln
+		}
+		if isSliceType(obj.Type()) {
+			return aSym(w.e.lenSym(obj))
+		}
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			base := w.obj(id)
+			if base != nil && (base == w.recv || w.isParamObj(base)) {
+				return aSym(w.e.tab.intern("len%"+objKey(base)+"."+x.Sel.Name,
+					symInfo{kind: symField, obj: base, field: x.Sel.Name + ".$len", nonneg: true}))
+			}
+		}
+	}
+	return aSym(w.e.tab.anonSym(true))
+}
+
+// evalView resolves a slice-typed expression to its root and window.
+func (w *ownWalk) evalView(e ast.Expr) ownView {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := w.obj(x)
+		if obj == nil {
+			return ownView{kind: refShared}
+		}
+		if v, ok := w.scope.views[obj]; ok {
+			return v
+		}
+		if w.localObj(obj) {
+			return ownView{kind: refLocal}
+		}
+		return ownView{kind: refShared}
+	case *ast.SliceExpr:
+		base := w.evalView(x.X)
+		lo := binding{f: aConst(0)}
+		if x.Low != nil {
+			lo = w.evalInt(x.Low)
+		}
+		out := base
+		out.off, out.ln = nil, nil
+		if lo.slack == 0 && lo.f != nil && base.off != nil {
+			out.off = w.cx.add(base.off, lo.f)
+			if x.High != nil {
+				hi := w.evalInt(x.High)
+				if hi.slack == 0 && hi.f != nil {
+					out.ln = w.cx.sub(hi.f, lo.f)
+				}
+			} else if base.ln != nil {
+				out.ln = w.cx.sub(base.ln, lo.f)
+			}
+		}
+		return out
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			base := w.obj(id)
+			if base == nil {
+				return ownView{kind: refShared}
+			}
+			if base == w.recv {
+				return ownView{kind: refRecvField, owner: base, field: x.Sel.Name, off: aConst(0), ln: w.lenForm(x)}
+			}
+			if w.localObj(base) && !w.isParamObj(base) {
+				return ownView{kind: refLocal}
+			}
+		}
+		return ownView{kind: refShared}
+	case *ast.CallExpr:
+		if tv, ok := w.e.pkg.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return w.evalView(x.Args[0])
+		}
+		// Call results are fresh values as far as this function's own
+		// write obligations go; the callee's writes were charged at the
+		// call site.
+		return ownView{kind: refLocal}
+	case *ast.CompositeLit:
+		return ownView{kind: refLocal}
+	}
+	return ownView{kind: refShared}
+}
+
+// record charges a write of [iv) against the view's root, canonicalizing
+// under the facts in force at the write site.
+func (w *ownWalk) record(v ownView, iv ivl, pos token.Pos, why string) {
+	if v.kind == refLocal {
+		return
+	}
+	if iv.lo != nil {
+		iv.lo = w.cx.canon(iv.lo.clone())
+	}
+	if iv.hi != nil {
+		iv.hi = w.cx.canon(iv.hi.clone())
+	}
+	if iv.lo == nil || iv.hi == nil {
+		iv = ivl{}
+	}
+	rootView := ownView{kind: v.kind, param: v.param, owner: v.owner, field: v.field}
+	w.writes = append(w.writes, writeRec{view: rootView, iv: iv, pos: pos, why: why})
+}
+
+// recordIndexWrite charges y[i] = ... (and y[i] op= ...).
+func (w *ownWalk) recordIndexWrite(ix *ast.IndexExpr) {
+	v := w.evalView(ix.X)
+	if v.kind == refLocal {
+		return
+	}
+	iv := ivl{}
+	idx := w.evalInt(ix.Index)
+	if v.off != nil && idx.f != nil {
+		iv.lo = w.cx.add(v.off, idx.f)
+		iv.hi = w.cx.add(iv.lo, aConst(idx.slack+1))
+	}
+	w.record(v, iv, ix.Pos(), "indexed write")
+}
+
+// exec runs one statement, returning true when control provably leaves
+// the enclosing block (return, panic, break, continue, goto).
+func (w *ownWalk) exec(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range x.List {
+			if w.exec(st) {
+				return true
+			}
+		}
+		return false
+	case *ast.AssignStmt:
+		w.callEffects(x)
+		return w.execAssign(x)
+	case *ast.IncDecStmt:
+		w.callEffects(x)
+		switch lhs := ast.Unparen(x.X).(type) {
+		case *ast.Ident:
+			obj := w.obj(lhs)
+			if obj == nil {
+				return false
+			}
+			b := w.evalInt(lhs)
+			delta := int64(1)
+			if x.Tok == token.DEC {
+				delta = -1
+			}
+			if b.f != nil {
+				b.f = w.cx.add(b.f, aConst(delta))
+			}
+			b.nonneg = false
+			w.scope.vars[obj] = b
+		case *ast.IndexExpr:
+			w.recordIndexWrite(lhs)
+		case *ast.SelectorExpr:
+			w.recordFieldWrite(lhs)
+		case *ast.StarExpr:
+			w.record(ownView{kind: refShared}, ivl{}, lhs.Pos(), "pointer-target increment")
+		}
+		return false
+	case *ast.DeclStmt:
+		w.callEffects(x)
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := w.e.pkg.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					switch {
+					case len(vs.Values) > i:
+						w.bindValue(obj, vs.Values[i])
+					case isIntType(obj.Type()):
+						w.scope.vars[obj] = binding{f: aConst(0)} // zero value
+					case isSliceType(obj.Type()):
+						w.scope.views[obj] = ownView{kind: refLocal} // nil slice
+					}
+				}
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		w.callEffects(x)
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok && w.isPanic(call) {
+			return true
+		}
+		return false
+	case *ast.SendStmt:
+		w.callEffects(x)
+		return false
+	case *ast.ReturnStmt:
+		w.callEffects(x)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.IfStmt:
+		return w.execIf(x)
+	case *ast.ForStmt:
+		w.execFor(x)
+		return false
+	case *ast.RangeStmt:
+		w.execRange(x)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.execBranchy(x)
+		return false
+	case *ast.DeferStmt:
+		w.execCall(x.Call) // runs eventually: charge its effects now
+		return false
+	case *ast.GoStmt:
+		// Spawned goroutines are the shared-write goroutine scan's
+		// domain (rule_sharedwrite.go), not part of this function's own
+		// sequential effects.
+		return false
+	case *ast.LabeledStmt:
+		return w.exec(x.Stmt)
+	}
+	return false
+}
+
+// bindValue assigns the abstract value of rhs to obj.
+func (w *ownWalk) bindValue(obj types.Object, rhs ast.Expr) {
+	if isSliceType(obj.Type()) {
+		w.scope.views[obj] = w.evalView(rhs)
+		delete(w.scope.vars, obj)
+		return
+	}
+	if isIntType(obj.Type()) {
+		w.scope.vars[obj] = w.evalInt(rhs)
+	}
+}
+
+func (w *ownWalk) execAssign(x *ast.AssignStmt) bool {
+	if len(x.Lhs) != len(x.Rhs) {
+		// Multi-value call or comma-ok: havoc every target.
+		for _, lhs := range x.Lhs {
+			w.havocTarget(lhs)
+		}
+		return false
+	}
+	for i, lhs := range x.Lhs {
+		w.assignOne(lhs, x.Rhs[i], x.Tok)
+	}
+	return false
+}
+
+func (w *ownWalk) assignOne(lhs, rhs ast.Expr, tok token.Token) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := w.obj(l)
+		if obj == nil {
+			return
+		}
+		if !w.localObj(obj) {
+			// Package-level or captured variable: a write to state that
+			// outlives (or is shared with) this frame.
+			w.record(ownView{kind: refShared}, ivl{}, l.Pos(), "assignment to non-local variable "+l.Name)
+		}
+		if isSliceType(obj.Type()) {
+			if tok == token.ASSIGN || tok == token.DEFINE {
+				w.scope.views[obj] = w.evalView(rhs)
+			} else {
+				w.scope.views[obj] = ownView{kind: refShared}
+			}
+			delete(w.scope.vars, obj)
+			return
+		}
+		if !isIntType(obj.Type()) {
+			return
+		}
+		nb := w.evalInt(rhs)
+		switch tok {
+		case token.ASSIGN, token.DEFINE:
+		case token.ADD_ASSIGN:
+			cur := w.evalInt(l)
+			if cur.f != nil && nb.f != nil {
+				nb = binding{f: w.cx.add(cur.f, nb.f), slack: cur.slack + nb.slack}
+			} else {
+				nb = binding{nonneg: w.bindingNonneg(cur) && w.bindingNonneg(nb)}
+			}
+		case token.SUB_ASSIGN:
+			cur := w.evalInt(l)
+			if cur.f != nil && nb.f != nil && nb.slack == 0 {
+				nb = binding{f: w.cx.sub(cur.f, nb.f), slack: cur.slack}
+			} else {
+				nb = w.anon(false)
+			}
+		default:
+			nb = w.anon(false)
+		}
+		w.scope.vars[obj] = nb
+	case *ast.IndexExpr:
+		if _, isMap := w.e.pkg.Info.Types[l.X].Type.Underlying().(*types.Map); isMap {
+			v := w.evalView(l.X)
+			if v.kind != refLocal {
+				w.record(v, ivl{}, l.Pos(), "map write")
+			}
+			return
+		}
+		w.recordIndexWrite(l)
+	case *ast.SelectorExpr:
+		w.recordFieldWrite(l)
+	case *ast.StarExpr:
+		w.record(ownView{kind: refShared}, ivl{}, l.Pos(), "write through pointer")
+	}
+}
+
+// recordFieldWrite charges x.f = v: private for local structs, a shared
+// write for receiver fields, parameters, and everything else.
+func (w *ownWalk) recordFieldWrite(sel *ast.SelectorExpr) {
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		base := w.obj(id)
+		if base != nil {
+			if base == w.recv {
+				w.record(ownView{kind: refRecvField, owner: base, field: sel.Sel.Name}, ivl{}, sel.Pos(), "receiver field write")
+				return
+			}
+			if w.localObj(base) && !w.isParamObj(base) {
+				return // field of a local value: private
+			}
+		}
+	}
+	w.record(ownView{kind: refShared}, ivl{}, sel.Pos(), "field write to shared value")
+}
+
+func (w *ownWalk) havocTarget(lhs ast.Expr) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := w.obj(l)
+		if obj == nil {
+			return
+		}
+		if isSliceType(obj.Type()) {
+			w.scope.views[obj] = ownView{kind: refLocal}
+			return
+		}
+		if isIntType(obj.Type()) {
+			w.scope.vars[obj] = w.anon(false)
+		}
+	case *ast.IndexExpr:
+		w.recordIndexWrite(l)
+	case *ast.SelectorExpr:
+		w.recordFieldWrite(l)
+	case *ast.StarExpr:
+		w.record(ownView{kind: refShared}, ivl{}, l.Pos(), "write through pointer")
+	}
+}
+
+func (w *ownWalk) isPanic(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, builtin := w.e.pkg.Info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// isCheckGuard matches the check.Enabled debug gate.
+func (w *ownWalk) isCheckGuard(cond ast.Expr) bool {
+	return isEnabledGuard(w.e.pkg, cond, w.e.checkPath)
+}
+
+// execIf walks both branches with the condition's facts in force, then
+// joins the environments. A terminating then-branch leaves the negated
+// condition as a persistent fact (the guard-return idiom).
+func (w *ownWalk) execIf(x *ast.IfStmt) bool {
+	if x.Init != nil {
+		w.exec(x.Init)
+	}
+	if w.isCheckGuard(x.Cond) {
+		// The debug-sanitizer gate: its block is the runtime checker's
+		// own bookkeeping, exempt by design. The else branch (if any)
+		// keeps normal treatment.
+		if x.Else != nil {
+			return w.exec(x.Else)
+		}
+		return false
+	}
+	preFacts := w.cx.facts
+	preScope := w.scope
+
+	w.cx.facts = preFacts.clone()
+	w.applyCond(x.Cond, true)
+	thenFacts := w.cx.facts
+	w.scope = preScope.clone()
+	thenTerm := w.exec(x.Body)
+	thenScope := w.scope
+
+	// The negated condition must be evaluated in the PRE-branch scope:
+	// the then-branch may have rebound the very variables the condition
+	// mentions.
+	w.scope = preScope.clone()
+	w.cx.facts = preFacts.clone()
+	w.applyCond(x.Cond, false)
+	elseFacts := w.cx.facts
+	elseTerm := false
+	if x.Else != nil {
+		elseTerm = w.exec(x.Else)
+	}
+	elseScope := w.scope
+
+	switch {
+	case thenTerm && elseTerm:
+		w.cx.facts = preFacts
+		w.scope = preScope
+		return true
+	case thenTerm:
+		w.cx.facts = elseFacts
+		w.scope = elseScope
+	case elseTerm:
+		w.cx.facts = thenFacts
+		w.scope = thenScope
+	default:
+		// Restore the pre-branch facts first: joinScopes records lower
+		// bounds for its fresh join symbols into the live fact set, and
+		// those must survive the join.
+		w.cx.facts = preFacts
+		w.scope = w.joinScopes(thenScope, thenFacts, elseScope, elseFacts)
+	}
+	return false
+}
+
+// joinScopes merges two branch environments. Bindings that differ by a
+// provable constant join with slack (the clamp idiom `u := q; if w < r
+// { u++ }` yields u in [q, q+1]); anything else rebinds to a fresh
+// unknown that keeps whatever small lower bounds both branches prove.
+func (w *ownWalk) joinScopes(a *ownScope, fa *factSet, b *ownScope, fb *factSet) *ownScope {
+	out := &ownScope{vars: make(map[types.Object]binding), views: make(map[types.Object]ownView)}
+	for obj, va := range a.views {
+		if vb, ok := b.views[obj]; ok && sameRoot(va, vb) && w.sameWindow(va, vb) {
+			out.views[obj] = va
+		} else if ok {
+			root := va
+			root.off, root.ln = nil, nil
+			if !sameRoot(va, vb) {
+				root = ownView{kind: refShared}
+			}
+			out.views[obj] = root
+		}
+	}
+	cxA := &actx{tab: w.e.tab, facts: fa}
+	cxB := &actx{tab: w.e.tab, facts: fb}
+	for obj, ba := range a.vars {
+		bb, ok := b.vars[obj]
+		if !ok {
+			continue
+		}
+		if joined, ok := joinBindings(w.cx, ba, bb); ok {
+			out.vars[obj] = joined
+			continue
+		}
+		nn := (ba.nonneg || (ba.f != nil && cxA.provableNonneg(ba.f))) &&
+			(bb.nonneg || (bb.f != nil && cxB.provableNonneg(bb.f)))
+		fresh := w.anon(nn)
+		for _, k := range []int64{1, 2} {
+			if ba.f != nil && bb.f != nil &&
+				cxA.provableNonneg(cxA.sub(ba.f, aConst(k))) &&
+				cxB.provableNonneg(cxB.sub(bb.f, aConst(k))) {
+				w.cx.addLB(fresh.f, k)
+			}
+		}
+		out.vars[obj] = fresh
+	}
+	return out
+}
+
+func sameRoot(a, b ownView) bool {
+	return a.kind == b.kind && a.param == b.param && a.owner == b.owner && a.field == b.field
+}
+
+func (w *ownWalk) sameWindow(a, b ownView) bool {
+	if a.off == nil || b.off == nil || !w.cx.equal(a.off, b.off) {
+		return false
+	}
+	if a.ln == nil && b.ln == nil {
+		return true
+	}
+	return a.ln != nil && b.ln != nil && w.cx.equal(a.ln, b.ln)
+}
+
+// joinBindings merges values differing by a provable constant offset.
+func joinBindings(cx *actx, a, b binding) (binding, bool) {
+	if a.f == nil || b.f == nil {
+		if a.f == nil && b.f == nil {
+			return binding{nonneg: a.nonneg && b.nonneg}, true
+		}
+		return binding{}, false
+	}
+	d := cx.sub(b.f, a.f)
+	if d == nil || !d.isConst() {
+		return binding{}, false
+	}
+	if d.c >= 0 {
+		return binding{f: a.f, slack: maxI64(a.slack, d.c+b.slack)}, true
+	}
+	return binding{f: b.f, slack: maxI64(b.slack, -d.c+a.slack)}, true
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// applyCond records the facts implied by observing cond == val.
+func (w *ownWalk) applyCond(cond ast.Expr, val bool) {
+	cond = ast.Unparen(cond)
+	switch x := cond.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			w.applyCond(x.X, !val)
+		}
+		return
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			if val {
+				w.applyCond(x.X, true)
+				w.applyCond(x.Y, true)
+			}
+			return
+		case token.LOR:
+			if !val {
+				w.applyCond(x.X, false)
+				w.applyCond(x.Y, false)
+			}
+			return
+		}
+		if !isIntType(w.e.pkg.Info.Types[x.X].Type) {
+			return
+		}
+		w.applyCompare(x, val)
+	}
+}
+
+// applyCompare turns an integer comparison into lower-bound, equality
+// and divisibility facts.
+func (w *ownWalk) applyCompare(x *ast.BinaryExpr, val bool) {
+	op := x.Op
+	if !val {
+		switch op {
+		case token.LSS:
+			op = token.GEQ
+		case token.LEQ:
+			op = token.GTR
+		case token.GTR:
+			op = token.LEQ
+		case token.GEQ:
+			op = token.LSS
+		case token.EQL:
+			op = token.NEQ
+		case token.NEQ:
+			op = token.EQL
+		}
+	}
+	a, b := w.evalInt(x.X), w.evalInt(x.Y)
+	if a.f == nil || b.f == nil {
+		return
+	}
+	// Values: X in [a.f, a.f+a.slack], Y likewise. An observed X < Y
+	// guarantees (b.f + b.slack) - a.f >= 1: the largest Y dominates the
+	// smallest X's successor.
+	switch op {
+	case token.LSS: // X < Y  =>  Y_max - X_min >= 1
+		w.cx.addLB(w.cx.sub(w.cx.add(b.f, aConst(b.slack)), a.f), 1)
+	case token.LEQ:
+		w.cx.addLB(w.cx.sub(w.cx.add(b.f, aConst(b.slack)), a.f), 0)
+	case token.GTR:
+		w.cx.addLB(w.cx.sub(w.cx.add(a.f, aConst(a.slack)), b.f), 1)
+	case token.GEQ:
+		w.cx.addLB(w.cx.sub(w.cx.add(a.f, aConst(a.slack)), b.f), 0)
+	case token.EQL:
+		if a.slack != 0 || b.slack != 0 {
+			return
+		}
+		// x % y == 0 is the alignment guard: record divisibility.
+		if rem, ok := ast.Unparen(x.X).(*ast.BinaryExpr); ok && rem.Op == token.REM && b.f.isZero() {
+			ra, rb := w.evalInt(rem.X), w.evalInt(rem.Y)
+			if ra.slack == 0 && rb.slack == 0 {
+				w.cx.addModZero(ra.f, rb.f)
+			}
+		}
+		if s, ok := soleSym(a.f); ok {
+			w.cx.addEq(s, b.f)
+		} else if s, ok := soleSym(b.f); ok {
+			w.cx.addEq(s, a.f)
+		}
+		w.cx.addLB(w.cx.sub(a.f, b.f), 0)
+		w.cx.addLB(w.cx.sub(b.f, a.f), 0)
+	}
+}
+
+// soleSym matches a form that is exactly one symbol.
+func soleSym(f *aform) (symID, bool) {
+	if f == nil || f.c != 0 || len(f.t) != 1 {
+		return 0, false
+	}
+	for m, c := range f.t {
+		if m.y < 0 && c == 1 {
+			return m.x, true
+		}
+	}
+	return 0, false
+}
+
+// assignedOuter collects objects assigned anywhere under n that were
+// declared outside n (loop-carried state; havocked around loop bodies).
+func (w *ownWalk) assignedOuter(n ast.Node) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	add := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := w.e.pkg.Info.Uses[id] // Uses only: a Defs hit is scoped inside n
+		if obj == nil || seen[obj] {
+			return
+		}
+		if obj.Pos() >= n.Pos() && obj.Pos() < n.End() {
+			return
+		}
+		seen[obj] = true
+		out = append(out, obj)
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch x := c.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				add(lhs)
+			}
+		case *ast.IncDecStmt:
+			add(x.X)
+		}
+		return true
+	})
+	return out
+}
+
+func (w *ownWalk) havocObjs(objs []types.Object) {
+	for _, obj := range objs {
+		if isSliceType(obj.Type()) {
+			if v, ok := w.scope.views[obj]; ok {
+				v.off, v.ln = nil, nil
+				w.scope.views[obj] = v
+			}
+			continue
+		}
+		if isIntType(obj.Type()) {
+			w.scope.vars[obj] = w.anon(false)
+		}
+	}
+}
+
+// execFor walks a for statement. The canonical counting loop
+// `for i := L; i < H; i++` gets a loop symbol with bounds [L, H) and its
+// body's writes projected through projectLoop at exit; anything else is
+// walked once with loop-carried variables havocked (sound: havocked
+// symbols are never exportable, so affected writes widen to top).
+func (w *ownWalk) execFor(x *ast.ForStmt) {
+	if w.onLoop != nil {
+		w.onLoop(x, w)
+	}
+	carried := w.assignedOuter(x.Body)
+	w.havocObjs(carried)
+	defer w.havocObjs(carried)
+
+	ivar, loF, hiF := w.countingLoop(x)
+	preFacts := w.cx.facts
+	w.cx.facts = preFacts.clone()
+	defer func() { w.cx.facts = preFacts }()
+
+	mark := len(w.writes)
+	var ls symID = -1
+	if ivar != nil {
+		ls = w.e.tab.loopSym(loF, hiF, w.cx.provableNonneg(loF))
+		w.scope.vars[ivar] = binding{f: aSym(ls)}
+		w.cx.addLB(w.cx.sub(aSym(ls), loF), 0)
+		if hiF != nil {
+			w.cx.addLB(w.cx.sub(w.cx.sub(hiF, aConst(1)), aSym(ls)), 0)
+		}
+	} else {
+		if x.Init != nil {
+			w.exec(x.Init)
+		}
+		if x.Cond != nil {
+			w.callEffects(x.Cond)
+			w.applyCond(x.Cond, true)
+		}
+	}
+	w.exec(x.Body)
+	if ivar != nil {
+		w.projectWrites(mark, ls)
+		delete(w.scope.vars, ivar)
+	}
+}
+
+// countingLoop matches `for i := L; i < H; i++` (also `<=`, bumping the
+// bound), returning the induction object and symbolic [L, H) bounds.
+func (w *ownWalk) countingLoop(x *ast.ForStmt) (types.Object, *aform, *aform) {
+	init, ok := x.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return nil, nil, nil
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, nil, nil
+	}
+	obj := w.e.pkg.Info.Defs[id]
+	if obj == nil || !isIntType(obj.Type()) {
+		return nil, nil, nil
+	}
+	inc, ok := x.Post.(*ast.IncDecStmt)
+	if !ok || inc.Tok != token.INC {
+		return nil, nil, nil
+	}
+	if pid, ok := ast.Unparen(inc.X).(*ast.Ident); !ok || w.obj(pid) != obj {
+		return nil, nil, nil
+	}
+	cond, ok := ast.Unparen(x.Cond).(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return nil, nil, nil
+	}
+	if cid, ok := ast.Unparen(cond.X).(*ast.Ident); !ok || w.obj(cid) != obj {
+		return nil, nil, nil
+	}
+	lo := w.evalInt(init.Rhs[0])
+	if lo.slack != 0 || lo.f == nil {
+		return nil, nil, nil
+	}
+	w.callEffects(cond.Y)
+	hi := w.evalInt(cond.Y)
+	if hi.slack != 0 || hi.f == nil {
+		return obj, lo.f, nil
+	}
+	hiF := hi.f
+	if cond.Op == token.LEQ {
+		hiF = w.cx.add(hiF, aConst(1))
+	}
+	return obj, lo.f, hiF
+}
+
+// projectWrites eliminates a loop symbol from every write recorded since
+// mark, replacing each interval with its union over the iteration space.
+func (w *ownWalk) projectWrites(mark int, s symID) {
+	if s < 0 {
+		return
+	}
+	for i := mark; i < len(w.writes); i++ {
+		iv := w.writes[i].iv
+		if iv.lo == nil || (!iv.lo.mentions(s) && !iv.hi.mentions(s)) {
+			continue
+		}
+		w.writes[i].iv = projectLoop(w.cx, iv, s)
+	}
+}
+
+// execRange walks a range statement. Ranges over slices and integers get
+// a loop symbol over [0, len) for the key; map, channel and other ranges
+// treat the bindings as unknowns.
+func (w *ownWalk) execRange(x *ast.RangeStmt) {
+	w.callEffects(x.X)
+	carried := w.assignedOuter(x.Body)
+	w.havocObjs(carried)
+	defer w.havocObjs(carried)
+
+	preFacts := w.cx.facts
+	w.cx.facts = preFacts.clone()
+	defer func() { w.cx.facts = preFacts }()
+
+	var ls symID = -1
+	var keyObj types.Object
+	t := w.e.pkg.Info.Types[x.X].Type
+	if t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Basic: // basic: range over int
+			var n *aform
+			if isIntType(t) {
+				b := w.evalInt(x.X)
+				if b.slack == 0 {
+					n = b.f
+				}
+			} else {
+				n = w.lenForm(x.X)
+			}
+			if id, ok := x.Key.(*ast.Ident); ok && id.Name != "_" {
+				keyObj = w.e.pkg.Info.Defs[id]
+				if keyObj == nil {
+					keyObj = w.e.pkg.Info.Uses[id]
+				}
+			}
+			if keyObj != nil {
+				ls = w.e.tab.loopSym(aConst(0), n, true)
+				w.scope.vars[keyObj] = binding{f: aSym(ls)}
+				w.cx.addLB(aSym(ls), 0)
+				if n != nil {
+					w.cx.addLB(w.cx.sub(w.cx.sub(n, aConst(1)), aSym(ls)), 0)
+				}
+			}
+		}
+	}
+	if id, ok := x.Value.(*ast.Ident); ok && id.Name != "_" {
+		if obj := w.e.pkg.Info.Defs[id]; obj != nil {
+			if isSliceType(obj.Type()) {
+				w.scope.views[obj] = ownView{kind: refShared} // element aliases the ranged value
+			} else if isIntType(obj.Type()) {
+				w.scope.vars[obj] = w.anon(false)
+			}
+		}
+	}
+	mark := len(w.writes)
+	w.exec(x.Body)
+	if keyObj != nil {
+		w.projectWrites(mark, ls)
+		delete(w.scope.vars, keyObj)
+	}
+}
+
+// execBranchy walks switch/type-switch/select conservatively: every case
+// body runs under cloned facts, then loop-carried state havocs.
+func (w *ownWalk) execBranchy(s ast.Stmt) {
+	carried := w.assignedOuter(s)
+	preFacts := w.cx.facts
+	preScope := w.scope
+	var bodies []*ast.BlockStmt
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.exec(x.Init)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.callEffects(cc.Comm)
+				}
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+	}
+	for _, b := range bodies {
+		w.cx.facts = preFacts.clone()
+		w.scope = preScope.clone()
+		w.exec(b)
+	}
+	w.cx.facts = preFacts
+	w.scope = preScope
+	w.havocObjs(carried)
+}
+
+// callEffects charges the write effects of every call syntactically
+// nested in n (excluding closure bodies, which execute elsewhere).
+func (w *ownWalk) callEffects(n ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch x := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.execCall(x)
+		}
+		return true
+	})
+}
+
+// execCall charges one call's effects against the current environment.
+func (w *ownWalk) execCall(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := w.e.pkg.Info.Uses[id].(*types.Builtin); builtin {
+			w.execBuiltin(id.Name, call)
+			return
+		}
+	}
+	if tv, ok := w.e.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	obj := calleeObject(w.e.pkg, call)
+	fn, _ := obj.(*types.Func)
+	if fn != nil {
+		if node, ok := w.e.ix.objToUnit[obj]; ok {
+			if decl, ok := node.(*ast.FuncDecl); ok {
+				w.applySummary(call, w.e.summarizeDecl(decl))
+				return
+			}
+		}
+		if fn.Name() == "MulVecRange" {
+			if sig, ok := fn.Type().(*types.Signature); ok && isContractSig(sig) {
+				w.applyContractCall(call)
+				return
+			}
+		}
+	}
+	// Unknown callee (another package, an interface method, a func
+	// value): assume it writes every tracked slice it can reach.
+	w.poisonArgs(call)
+}
+
+func (w *ownWalk) execBuiltin(name string, call *ast.CallExpr) {
+	switch name {
+	case "copy":
+		if len(call.Args) != 2 {
+			return
+		}
+		dst := w.evalView(call.Args[0])
+		if dst.kind == refLocal {
+			return
+		}
+		iv := ivl{}
+		if dst.off != nil && dst.ln != nil {
+			iv.lo = dst.off
+			iv.hi = w.cx.add(dst.off, dst.ln)
+		}
+		w.record(dst, iv, call.Pos(), "copy into view")
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		v := w.evalView(call.Args[0])
+		if v.kind != refLocal {
+			w.record(v, ivl{}, call.Pos(), "append to tracked slice")
+		}
+	case "clear":
+		if len(call.Args) == 1 {
+			v := w.evalView(call.Args[0])
+			if v.kind != refLocal {
+				w.record(v, ivl{}, call.Pos(), "clear of tracked slice")
+			}
+		}
+	}
+}
+
+// isContractSig matches func(x, y []float64, lo, hi int).
+func isContractSig(sig *types.Signature) bool {
+	p := sig.Params()
+	if p.Len() != 4 || sig.Results().Len() != 0 {
+		return false
+	}
+	f64 := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Float64
+	}
+	return f64(p.At(0).Type()) && f64(p.At(1).Type()) &&
+		isIntType(p.At(2).Type()) && isIntType(p.At(3).Type())
+}
+
+// applyContractCall charges a MulVecRange interface call with the
+// contract's effect: writes args[1] exactly on [args[2], args[3]).
+func (w *ownWalk) applyContractCall(call *ast.CallExpr) {
+	if len(call.Args) != 4 {
+		return
+	}
+	y := w.evalView(call.Args[1])
+	if y.kind == refLocal {
+		return
+	}
+	lo, hi := w.evalInt(call.Args[2]), w.evalInt(call.Args[3])
+	iv := ivl{}
+	if y.off != nil && lo.f != nil && hi.f != nil && lo.slack == 0 && hi.slack == 0 {
+		iv.lo = w.cx.add(y.off, lo.f)
+		iv.hi = w.cx.add(y.off, hi.f)
+	}
+	w.record(y, iv, call.Pos(), "kernel contract call")
+}
+
+// poisonArgs charges a top write against every tracked slice argument of
+// an unresolvable call.
+func (w *ownWalk) poisonArgs(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		t := w.e.pkg.Info.Types[arg].Type
+		if t == nil || !isSliceType(t) {
+			continue
+		}
+		v := w.evalView(arg)
+		if v.kind == refLocal {
+			continue
+		}
+		w.record(v, ivl{}, call.Pos(), "slice passed to unresolved call")
+	}
+}
+
+// applySummary instantiates a same-package callee's write summary at the
+// call site, substituting argument forms for parameter symbols.
+func (w *ownWalk) applySummary(call *ast.CallExpr, sum *fnSummary) {
+	if len(sum.writes) == 0 {
+		return
+	}
+	// Receiver mapping: callee recv fields translate only when the call
+	// receiver is this function's own receiver identifier.
+	var callerRecv types.Object
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if o := w.obj(id); o != nil && o == w.recv {
+				callerRecv = o
+			}
+		}
+	}
+	argForm := make(map[types.Object]*aform)
+	for i, p := range sum.params {
+		if p == nil || i >= len(call.Args) || !isIntType(p.Type()) {
+			continue
+		}
+		b := w.evalInt(call.Args[i])
+		if b.slack == 0 && b.f != nil {
+			argForm[p] = b.f
+		}
+	}
+	mapSym := func(s symID) *aform {
+		info := w.e.tab.syms[s]
+		if info.kind != symObj && info.kind != symField {
+			return nil
+		}
+		if info.kind == symObj {
+			return argForm[info.obj]
+		}
+		if sum.recv != nil && info.obj == sum.recv && callerRecv != nil {
+			if info.field == "$len" || len(info.field) > 5 && info.field[len(info.field)-5:] == ".$len" {
+				return aSym(w.e.tab.intern("len%"+objKey(callerRecv)+"."+info.field,
+					symInfo{kind: symField, obj: callerRecv, field: info.field, nonneg: true}))
+			}
+			return aSym(w.e.tab.fieldSym(callerRecv, info.field))
+		}
+		if w.isSummaryParam(sum, info.obj) {
+			// Length (or field) of a parameter slice: translate through
+			// the corresponding argument when it is a whole identifier.
+			i := indexOfParam(sum, info.obj)
+			if i >= 0 && i < len(call.Args) {
+				if info.field == "$len" {
+					return w.lenForm(call.Args[i])
+				}
+			}
+		}
+		return nil
+	}
+	// keyed per-call so two identical fields intern to one symbol
+	for _, wr := range sum.writes {
+		w.applyOneWrite(call, wr, mapSym, callerRecv)
+	}
+}
+
+func (w *ownWalk) isSummaryParam(sum *fnSummary, obj types.Object) bool {
+	for _, p := range sum.params {
+		if p != nil && p == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func indexOfParam(sum *fnSummary, obj types.Object) int {
+	for i, p := range sum.params {
+		if p != nil && p == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+func (w *ownWalk) applyOneWrite(call *ast.CallExpr, wr writeRec, mapSym func(symID) *aform, callerRecv types.Object) {
+	switch wr.view.kind {
+	case refParam:
+		if wr.view.param >= len(call.Args) {
+			return
+		}
+		arg := w.evalView(call.Args[wr.view.param])
+		if arg.kind == refLocal {
+			return
+		}
+		iv := ivl{}
+		if wr.iv.lo != nil && arg.off != nil {
+			lo := w.rewriteForm(wr.iv.lo, mapSym)
+			hi := w.rewriteForm(wr.iv.hi, mapSym)
+			if lo != nil && hi != nil {
+				iv.lo = w.cx.add(arg.off, lo)
+				iv.hi = w.cx.add(arg.off, hi)
+			}
+		} else if wr.iv.lo == nil && arg.off != nil && arg.ln != nil {
+			// Callee writes somewhere in its whole parameter: within the
+			// caller that is the view's extent.
+			iv.lo = arg.off
+			iv.hi = w.cx.add(arg.off, arg.ln)
+		}
+		w.record(arg, iv, call.Pos(), wr.why)
+	case refRecvField:
+		if callerRecv != nil {
+			w.record(ownView{kind: refRecvField, owner: callerRecv, field: wr.view.field}, ivl{}, call.Pos(), wr.why)
+			return
+		}
+		w.record(ownView{kind: refShared}, ivl{}, call.Pos(), wr.why)
+	default:
+		w.record(ownView{kind: refShared}, ivl{}, call.Pos(), wr.why)
+	}
+}
+
+// rewriteForm translates a callee-vocabulary form into the caller's,
+// rebuilding derived quotient/remainder symbols so the caller's
+// divisibility facts can collapse them (the (lo/b)*b -> lo step that
+// proves blocked kernels).
+func (w *ownWalk) rewriteForm(f *aform, mapSym func(symID) *aform) *aform {
+	if f == nil {
+		return nil
+	}
+	var resolve func(s symID) *aform
+	resolve = func(s symID) *aform {
+		if g := mapSym(s); g != nil {
+			return g
+		}
+		info := w.e.tab.syms[s]
+		if info.kind == symDiv || info.kind == symMod {
+			a := w.rewriteForm(info.a, mapSym)
+			b := w.rewriteForm(info.b, mapSym)
+			if a == nil || b == nil {
+				return nil
+			}
+			if info.kind == symDiv {
+				return w.cx.div(a, b)
+			}
+			return w.cx.mod(a, b)
+		}
+		return nil
+	}
+	out := aConst(f.c)
+	for m, c := range f.t {
+		xf := resolve(m.x)
+		if xf == nil {
+			return nil
+		}
+		term := xf
+		if m.y >= 0 {
+			yf := resolve(m.y)
+			if yf == nil {
+				return nil
+			}
+			term = w.cx.mul(xf, yf)
+			if term == nil {
+				return nil
+			}
+		}
+		out = w.cx.addRaw(out, w.cx.scale(term, c))
+		if out == nil {
+			return nil
+		}
+	}
+	return w.cx.normalize(out)
+}

@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RangePartition proves that fan-out loops hand workers a disjoint,
+// covering partition of [0, n). The recognized shape is the telescoping
+// partition of pool.Dispatch:
+//
+//	lo := 0
+//	for w := 0; w < nw; w++ {
+//		hi := lo + width          // width provably >= 0
+//		if w == nw-1 { hi = n }   // optional clamp, covers the remainder
+//		handoff(lo, hi)           // send or go, unconditional, once
+//		lo = hi                   // next chunk starts where this ended
+//	}
+//
+// Each chunk starts where the previous ended and the first starts at 0,
+// so chunks are pairwise disjoint by construction; the clamp makes the
+// union exactly [0, n). Every deviation — a conditional handoff, a
+// second write to the bounds, a width that can go negative, a seam that
+// skips or re-covers an index — is a compile-time finding. The
+// environment at the loop (guards proving n >= 1, clamped worker
+// counts, div/mod quotients) comes from the same symbolic executor the
+// shared-write rule uses.
+//
+// A loop is examined only when it hands off two locally-computed integer
+// bounds (at least one assigned in the body) through a send or go
+// statement — the signature of a range fan-out. Loops that merely spawn
+// per-index workers (go f(i)) or send tokens are not partitions and are
+// ignored.
+type RangePartition struct {
+	// Kernels is the package set to verify; nil means KernelPackages().
+	Kernels []string
+	// CheckPath names the debug-gate package; empty means
+	// prometheus/internal/check.
+	CheckPath string
+}
+
+// Name implements Rule.
+func (RangePartition) Name() string { return "range-partition" }
+
+// Check implements Rule.
+func (r RangePartition) Check(pkg *Package) []Issue {
+	kernels := r.Kernels
+	if kernels == nil {
+		kernels = KernelPackages()
+	}
+	checkPath := r.CheckPath
+	if checkPath == "" {
+		checkPath = "prometheus/internal/check"
+	}
+	if !pathInSet(pkg.Path, kernels) {
+		return nil
+	}
+	var out []Issue
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !r.hasTriggeredLoop(pkg, fd) {
+				continue
+			}
+			eng := newOwnEngine(pkg, checkPath)
+			w := eng.newWalk(fd)
+			w.onLoop = func(loop *ast.ForStmt, w *ownWalk) {
+				out = append(out, r.checkLoop(pkg, loop, w)...)
+			}
+			w.exec(fd.Body)
+		}
+	}
+	return out
+}
+
+// hasTriggeredLoop cheaply pre-filters functions containing a partition
+// fan-out loop.
+func (r RangePartition) hasTriggeredLoop(pkg *Package, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if loop, ok := n.(*ast.ForStmt); ok && r.triggered(pkg, loop) != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// triggered returns the handoff statement payload when the loop is a
+// range fan-out: a send or go whose payload references >= 2 local
+// integer variables beyond the loop's own induction variables, at least
+// one of which is assigned in the body.
+func (r RangePartition) triggered(pkg *Package, loop *ast.ForStmt) ast.Node {
+	induction := make(map[types.Object]bool)
+	if init, ok := loop.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+		for _, lhs := range init.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					induction[obj] = true
+				}
+			}
+		}
+	}
+	assigned := make(map[types.Object]bool)
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := objOf(pkg, id); obj != nil {
+						assigned[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	var handoff ast.Node
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if handoff != nil {
+			return false
+		}
+		var payload ast.Node
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			payload = x.Value
+		case *ast.GoStmt:
+			payload = x.Call
+		default:
+			return true
+		}
+		locals := make(map[types.Object]bool)
+		anyAssigned := false
+		ast.Inspect(payload, func(c ast.Node) bool {
+			if _, ok := c.(*ast.FuncLit); ok {
+				return false
+			}
+			id, ok := c.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil || induction[obj] || !isIntType(obj.Type()) {
+				return true
+			}
+			if _, isVar := obj.(*types.Var); !isVar || obj.Parent() == pkg.Types.Scope() {
+				return true
+			}
+			locals[obj] = true
+			if assigned[obj] {
+				anyAssigned = true
+			}
+			return true
+		})
+		if len(locals) >= 2 && anyAssigned {
+			handoff = n
+		}
+		return true
+	})
+	return handoff
+}
+
+func objOf(pkg *Package, id *ast.Ident) types.Object {
+	if o := pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Defs[id]
+}
+
+// checkLoop verifies the telescoping-partition shape of one triggered
+// loop, with w holding the symbolic environment at loop entry.
+func (r RangePartition) checkLoop(pkg *Package, loop *ast.ForStmt, w *ownWalk) []Issue {
+	handoff := r.triggered(pkg, loop)
+	if handoff == nil {
+		return nil
+	}
+	bad := func(n ast.Node, format string, args ...interface{}) []Issue {
+		return []Issue{issue(pkg, n, r.Name(), Error, format, args...)}
+	}
+
+	// The handoff must be a top-level, unique statement of the body: a
+	// conditional or repeated handoff breaks the one-chunk-per-iteration
+	// accounting.
+	count := 0
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.SendStmt, *ast.GoStmt:
+			count++
+		}
+		return true
+	})
+	if count != 1 {
+		return bad(handoff, "partition loop performs %d handoffs per iteration; the telescoping shape requires exactly one", count)
+	}
+	topLevel := -1
+	for i, st := range loop.Body.List {
+		if st == handoff {
+			topLevel = i
+		}
+	}
+	if topLevel < 0 {
+		return bad(handoff, "partition handoff is conditional; a worker range skipped on some iteration leaves rows unwritten (or double-covers them)")
+	}
+
+	// Identify the (lo, hi) pair: hi := lo + width defined in the body,
+	// lo = hi closing the telescope after the handoff.
+	var loObj, hiObj types.Object
+	var hiDefine *ast.AssignStmt
+	var widthExpr ast.Expr
+	hiIdx := -1
+	for i, st := range loop.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		add, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok || add.Op != token.ADD {
+			continue
+		}
+		lhsID, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		for _, cand := range [2][2]ast.Expr{{add.X, add.Y}, {add.Y, add.X}} {
+			baseID, ok := ast.Unparen(cand[0]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			base := pkg.Info.Uses[baseID]
+			if base == nil || !isIntType(base.Type()) {
+				continue
+			}
+			loObj, hiObj = base, pkg.Info.Defs[lhsID]
+			hiDefine, widthExpr, hiIdx = as, cand[1], i
+			break
+		}
+		if hiDefine != nil {
+			break
+		}
+	}
+	if hiDefine == nil || loObj == nil || hiObj == nil {
+		return bad(loop, "fan-out loop hands off computed bounds but does not match the telescoping partition shape (hi := lo + width ... lo = hi); the partition cannot be verified disjoint")
+	}
+	if hiIdx > topLevel {
+		return bad(hiDefine, "partition end %s is computed after the handoff uses it", hiObj.Name())
+	}
+
+	// lo's only write in the body must be `lo = hi`, after the handoff.
+	loAssigns := r.assignsTo(pkg, loop.Body, loObj)
+	if len(loAssigns) != 1 {
+		return bad(loop, "partition start %s must be advanced exactly once per iteration (found %d writes); extra writes break the end-to-start telescope", loObj.Name(), len(loAssigns))
+	}
+	closeIdx := -1
+	for i, st := range loop.Body.List {
+		if st == loAssigns[0] {
+			closeIdx = i
+		}
+	}
+	closeAs, _ := loAssigns[0].(*ast.AssignStmt)
+	closeOK := false
+	if closeAs != nil && len(closeAs.Rhs) == 1 {
+		if id, ok := ast.Unparen(closeAs.Rhs[0]).(*ast.Ident); ok && pkg.Info.Uses[id] == hiObj {
+			closeOK = true
+		}
+	}
+	if !closeOK {
+		return bad(loAssigns[0], "partition start %s must be advanced with `%s = %s` so the next chunk starts exactly where this one ended; any other update opens a seam (gap or overlap) between workers", loObj.Name(), loObj.Name(), hiObj.Name())
+	}
+	if closeIdx < topLevel {
+		return bad(loAssigns[0], "partition start %s advances before the handoff; the handed-off range is not the one that was computed", loObj.Name())
+	}
+
+	// Semantic checks below run in a sandboxed copy of the walker state:
+	// the body statements preceding the hi definition execute symbolically
+	// so widths built from body-local clamps (u := q; if w < r { u++ })
+	// are bound, without disturbing the enclosing walk.
+	savedScope, savedFacts, savedHook := w.scope, w.cx.facts, w.onLoop
+	w.scope = w.scope.clone()
+	w.cx.facts = savedFacts.clone()
+	w.onLoop = nil
+	defer func() { w.scope, w.cx.facts, w.onLoop = savedScope, savedFacts, savedHook }()
+
+	entryLo, entryLoOK := w.scope.vars[loObj]
+
+	if ivar, loF, hiF := w.countingLoop(loop); ivar != nil {
+		ls := w.e.tab.loopSym(loF, hiF, w.cx.provableNonneg(loF))
+		w.scope.vars[ivar] = binding{f: aSym(ls)}
+		w.cx.addLB(w.cx.sub(aSym(ls), loF), 0)
+		if hiF != nil {
+			w.cx.addLB(w.cx.sub(w.cx.sub(hiF, aConst(1)), aSym(ls)), 0)
+		}
+	}
+	for _, st := range loop.Body.List[:hiIdx] {
+		w.exec(st)
+	}
+
+	// hi may be reassigned once, by the sanctioned last-iteration clamp
+	// `if w == last { hi = n }` between its definition and the handoff.
+	hiAssigns := r.assignsTo(pkg, loop.Body, hiObj)
+	clamped := false
+	for _, st := range hiAssigns {
+		idx := -1
+		var clampIf *ast.IfStmt
+		for i, top := range loop.Body.List {
+			if top == st {
+				idx = i
+			}
+			if ifs, ok := top.(*ast.IfStmt); ok {
+				if len(ifs.Body.List) == 1 && ifs.Body.List[0] == st && ifs.Else == nil {
+					idx = i
+					clampIf = ifs
+				}
+			}
+		}
+		if clampIf == nil {
+			return bad(st, "partition end %s is reassigned outside the last-iteration clamp; the chunk handed off no longer abuts its neighbors", hiObj.Name())
+		}
+		if idx > topLevel {
+			return bad(st, "last-iteration clamp of %s comes after the handoff and has no effect on the range workers receive", hiObj.Name())
+		}
+		if !r.isLastIterClamp(pkg, clampIf, loop, w) {
+			return bad(clampIf, "conditional reassignment of partition end %s is not the last-iteration clamp (if w == nw-1 { %s = n }); a mid-loop clamp overlaps or truncates neighboring chunks", hiObj.Name(), hiObj.Name())
+		}
+		clamped = true
+	}
+
+	// The chunk width must be provably nonnegative, or hi < lo hands a
+	// worker an inverted range and the telescope walks backwards.
+	width := w.evalInt(widthExpr)
+	if !w.bindingNonneg(width) {
+		return bad(hiDefine, "chunk width %s is not provably nonnegative at this point; a negative width makes ranges overlap their predecessors", exprString(pkg, widthExpr))
+	}
+
+	// The telescope must start at 0: lo's entry binding is the first
+	// chunk's start.
+	if !entryLoOK || entryLo.f == nil || !entryLo.f.isZero() || entryLo.slack != 0 {
+		return bad(loop, "partition start %s is not provably 0 at loop entry; the first chunk would skip rows [0, %s)", loObj.Name(), loObj.Name())
+	}
+
+	if !clamped {
+		return bad(loop, "partition loop never clamps its last chunk to the full extent (if w == nw-1 { %s = n }); when the range does not divide evenly the tail rows are never handed to any worker", hiObj.Name())
+	}
+	return nil
+}
+
+// assignsTo collects top-level-or-nested plain assignments to obj in the
+// body (excluding its := definition).
+func (r RangePartition) assignsTo(pkg *Package, body *ast.BlockStmt, obj types.Object) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+					out = append(out, x)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := x.X.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+				out = append(out, x)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isLastIterClamp matches `if w == last` where w is the loop's induction
+// variable and last is provably the final iteration index (loop bound
+// minus one).
+func (r RangePartition) isLastIterClamp(pkg *Package, clamp *ast.IfStmt, loop *ast.ForStmt, w *ownWalk) bool {
+	cond, ok := ast.Unparen(clamp.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	ivar, _, hiF := w.countingLoop(loop)
+	if ivar == nil || hiF == nil {
+		return false
+	}
+	last := w.cx.sub(hiF, aConst(1))
+	for _, pair := range [2][2]ast.Expr{{cond.X, cond.Y}, {cond.Y, cond.X}} {
+		id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+		if !ok || pkg.Info.Uses[id] != ivar {
+			continue
+		}
+		b := w.evalInt(pair[1])
+		if b.slack == 0 && b.f != nil && w.cx.equal(b.f, last) {
+			return true
+		}
+	}
+	return false
+}

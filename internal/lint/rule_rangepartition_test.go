@@ -1,0 +1,202 @@
+package lint
+
+import "testing"
+
+func fixtureRangePartition() RangePartition {
+	return RangePartition{Kernels: []string{"fixture"}}
+}
+
+// dispatchPrologue is the Pool-style scaffolding shared by the fixtures:
+// jobs carries (lo, hi) ranges to workers.
+const dispatchPrologue = `package fixture
+
+type job struct{ lo, hi int }
+
+type Pool struct {
+	jobs chan job
+	nw   int
+}
+`
+
+func TestRangePartitionCleanTelescope(t *testing.T) {
+	pkg := checkFixture(t, dispatchPrologue+`
+// Dispatch is the canonical telescoping partition, clamp included.
+func (p *Pool) Dispatch(n, align int) {
+	if n <= 0 {
+		return
+	}
+	if align < 1 {
+		align = 1
+	}
+	units := n / align
+	nw := p.nw
+	if nw > units {
+		nw = units
+	}
+	if nw <= 1 {
+		return
+	}
+	q := units / nw
+	r := units % nw
+	lo := 0
+	for w := 0; w < nw; w++ {
+		u := q
+		if w < r {
+			u++
+		}
+		hi := lo + u*align
+		if w == nw-1 {
+			hi = n
+		}
+		p.jobs <- job{lo, hi}
+		lo = hi
+	}
+}
+`)
+	if got := fixtureRangePartition().Check(pkg); len(got) != 0 {
+		t.Fatalf("clean telescope flagged: %v", got)
+	}
+}
+
+func TestRangePartitionMissingClamp(t *testing.T) {
+	pkg := checkFixture(t, dispatchPrologue+`
+// Dispatch never clamps the last chunk: when nw does not divide n the
+// tail rows [nw*(n/nw), n) are handed to no worker.
+func (p *Pool) Dispatch(n int) {
+	if n <= 0 {
+		return
+	}
+	nw := p.nw
+	if nw <= 1 {
+		return
+	}
+	q := n / nw
+	lo := 0
+	for w := 0; w < nw; w++ { // line 22
+		hi := lo + q
+		p.jobs <- job{lo, hi}
+		lo = hi
+	}
+}
+`)
+	got := fixtureRangePartition().Check(pkg)
+	if !sameLines(got, 22) {
+		t.Fatalf("got %v (lines %v), want line [22]", got, lines(got))
+	}
+}
+
+func TestRangePartitionConditionalHandoff(t *testing.T) {
+	pkg := checkFixture(t, dispatchPrologue+`
+// Dispatch skips empty chunks: the drain side expects one job per
+// worker, and the skipped worker's rows are never re-covered... the
+// accounting breaks either way.
+func (p *Pool) Dispatch(n int) {
+	if n <= 0 {
+		return
+	}
+	nw := p.nw
+	if nw <= 1 {
+		return
+	}
+	q := n / nw
+	lo := 0
+	for w := 0; w < nw; w++ {
+		hi := lo + q
+		if w == nw-1 {
+			hi = n
+		}
+		if hi > lo {
+			p.jobs <- job{lo, hi} // line 29: conditional handoff
+		}
+		lo = hi
+	}
+}
+`)
+	got := fixtureRangePartition().Check(pkg)
+	if !sameLines(got, 29) {
+		t.Fatalf("got %v (lines %v), want line [29]", got, lines(got))
+	}
+}
+
+func TestRangePartitionSeam(t *testing.T) {
+	pkg := checkFixture(t, dispatchPrologue+`
+// Dispatch advances lo past hi: rows between chunks are skipped.
+func (p *Pool) Dispatch(n int) {
+	if n <= 0 {
+		return
+	}
+	nw := p.nw
+	if nw <= 1 {
+		return
+	}
+	q := n / nw
+	lo := 0
+	for w := 0; w < nw; w++ {
+		hi := lo + q
+		if w == nw-1 {
+			hi = n
+		}
+		p.jobs <- job{lo, hi}
+		lo = hi + 1 // line 27: opens a one-row gap between chunks
+	}
+}
+`)
+	got := fixtureRangePartition().Check(pkg)
+	if !sameLines(got, 27) {
+		t.Fatalf("got %v (lines %v), want line [27]", got, lines(got))
+	}
+}
+
+func TestRangePartitionNegativeWidth(t *testing.T) {
+	pkg := checkFixture(t, dispatchPrologue+`
+// Dispatch never guards q's sign: with n < 0 the chunks walk backwards
+// and overlap.
+func (p *Pool) Dispatch(n int) {
+	nw := p.nw
+	if nw <= 1 {
+		return
+	}
+	q := n / nw
+	lo := 0
+	for w := 0; w < nw; w++ {
+		hi := lo + q // line 20: q may be negative
+		p.jobs <- job{lo, hi}
+		lo = hi
+	}
+}
+`)
+	got := fixtureRangePartition().Check(pkg)
+	if !sameLines(got, 20) {
+		t.Fatalf("got %v (lines %v), want line [20]", got, lines(got))
+	}
+}
+
+func TestRangePartitionMidLoopClamp(t *testing.T) {
+	pkg := checkFixture(t, dispatchPrologue+`
+// Dispatch clamps every chunk, not just the last: mid-loop clamps
+// truncate chunks and the following lo = hi re-covers nothing.
+func (p *Pool) Dispatch(n, cap int) {
+	if n <= 0 {
+		return
+	}
+	nw := p.nw
+	if nw <= 1 {
+		return
+	}
+	q := n / nw
+	lo := 0
+	for w := 0; w < nw; w++ {
+		hi := lo + q
+		if hi > cap { // line 24: not the last-iteration clamp
+			hi = cap
+		}
+		p.jobs <- job{lo, hi}
+		lo = hi
+	}
+}
+`)
+	got := fixtureRangePartition().Check(pkg)
+	if !sameLines(got, 24) {
+		t.Fatalf("got %v (lines %v), want line [24]", got, lines(got))
+	}
+}

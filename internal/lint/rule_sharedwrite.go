@@ -1,0 +1,718 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SharedWrite proves disjoint writes for the real-core shared-memory
+// path. It has two halves:
+//
+//  1. Kernel contract verification: every method named MulVecRange with
+//     the pool.Kernel signature (x, y []float64, lo, hi int) is run
+//     through the symbolic ownership executor (ownership.go), which must
+//     prove it writes y only inside [lo, hi), never writes x, and never
+//     writes shared state. Workers executing such kernels over disjoint
+//     ranges are then race-free by construction.
+//
+//  2. Goroutine body scan: every `go` statement in a kernel package
+//     spawns a body that is checked against a provenance discipline —
+//     each written location must be goroutine-private, indexed by a
+//     spawn-distinct identifier (one goroutine per loop iteration), a
+//     value received from a channel and routed through a contract kernel
+//     call, or protected by a held mutex. Blocks under check.Enabled are
+//     the runtime sanitizer's own bookkeeping and are exempt.
+//
+// check.Owners (internal/check, promdebug builds) is the runtime half of
+// the same property: what this rule proves at compile time, the shadow
+// ownership table re-checks per dispatch with worker stacks on failure.
+type SharedWrite struct {
+	// Kernels is the package set to verify; nil means KernelPackages().
+	Kernels []string
+	// CheckPath names the debug-gate package; empty means
+	// prometheus/internal/check.
+	CheckPath string
+}
+
+// Name implements Rule.
+func (SharedWrite) Name() string { return "shared-write" }
+
+// Check implements Rule.
+func (r SharedWrite) Check(pkg *Package) []Issue {
+	kernels := r.Kernels
+	if kernels == nil {
+		kernels = KernelPackages()
+	}
+	checkPath := r.CheckPath
+	if checkPath == "" {
+		checkPath = "prometheus/internal/check"
+	}
+	if !pathInSet(pkg.Path, kernels) {
+		return nil
+	}
+	eng := newOwnEngine(pkg, checkPath)
+	var out []Issue
+	out = append(out, r.checkContracts(pkg, eng)...)
+	out = append(out, r.checkGoroutines(pkg, eng)...)
+	return out
+}
+
+// checkContracts verifies the Kernel contract on every MulVecRange
+// implementation in the package.
+func (r SharedWrite) checkContracts(pkg *Package, eng *ownEngine) []Issue {
+	var out []Issue
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "MulVecRange" || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || !isContractSig(sig) {
+				continue
+			}
+			out = append(out, r.verifyContract(pkg, eng, fd)...)
+		}
+	}
+	return out
+}
+
+// verifyContract checks one summary against writes(y) ⊆ [lo, hi),
+// writes(x) = ∅, no shared writes.
+func (r SharedWrite) verifyContract(pkg *Package, eng *ownEngine, fd *ast.FuncDecl) []Issue {
+	sum := eng.summarizeDecl(fd)
+	cx := &actx{tab: eng.tab, facts: &factSet{}}
+	var loF, hiF *aform
+	if len(sum.params) == 4 && sum.params[2] != nil && sum.params[3] != nil {
+		loF = aSym(eng.tab.objSym(sum.params[2]))
+		hiF = aSym(eng.tab.objSym(sum.params[3]))
+	}
+	var out []Issue
+	for _, wr := range sum.writes {
+		switch wr.view.kind {
+		case refParam:
+			switch wr.view.param {
+			case 0:
+				out = append(out, issueAt(pkg, wr.pos, r.Name(), Error,
+					"MulVecRange writes its input vector x (%s); the kernel contract allows writes only to y[lo:hi]", wr.why))
+			case 1:
+				if loF == nil || !cx.contains(wr.iv, loF, hiF) {
+					out = append(out, issueAt(pkg, wr.pos, r.Name(), Error,
+						"MulVecRange write to y[%s:%s] is not provably inside [lo, hi); "+
+							"concurrent workers on adjacent ranges may race (%s)",
+						cx.describe(wr.iv.lo), cx.describe(wr.iv.hi), wr.why))
+				}
+			default:
+				out = append(out, issueAt(pkg, wr.pos, r.Name(), Error,
+					"MulVecRange writes parameter %d (%s); the kernel contract allows writes only to y[lo:hi]", wr.view.param, wr.why))
+			}
+		case refRecvField:
+			out = append(out, issueAt(pkg, wr.pos, r.Name(), Error,
+				"MulVecRange writes receiver field %s (%s); the kernel value is shared by every worker, so receiver writes race", wr.view.field, wr.why))
+		default:
+			out = append(out, issueAt(pkg, wr.pos, r.Name(), Error,
+				"MulVecRange may write shared memory: %s; the kernel contract confines writes to y[lo:hi]", wr.why))
+		}
+	}
+	return out
+}
+
+// --- goroutine body scan -------------------------------------------------
+
+// wprov is the provenance lattice of the goroutine scan.
+type wprov uint8
+
+const (
+	provPrivate wprov = iota // declared inside the goroutine, or a by-value copy
+	provSpawn                // spawn-distinct: a per-goroutine loop index
+	provRecv                 // received from a channel inside the goroutine
+	provShared               // captured from the spawning frame, or global
+)
+
+func (p wprov) String() string {
+	switch p {
+	case provPrivate:
+		return "goroutine-private"
+	case provSpawn:
+		return "spawn-distinct"
+	case provRecv:
+		return "channel-received"
+	}
+	return "shared"
+}
+
+// checkGoroutines finds every go statement and scans the spawned body.
+func (r SharedWrite) checkGoroutines(pkg *Package, eng *ownEngine) []Issue {
+	var out []Issue
+	seen := make(map[token.Pos]bool)
+	for _, f := range pkg.Files {
+		// Track enclosing loop induction objects so spawn arguments that
+		// are per-iteration indices classify as spawn-distinct.
+		var inductionStack []map[types.Object]bool
+		induction := func() map[types.Object]bool {
+			m := make(map[types.Object]bool)
+			for _, s := range inductionStack {
+				for o := range s {
+					m[o] = true
+				}
+			}
+			return m
+		}
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ForStmt:
+				vars := make(map[types.Object]bool)
+				if init, ok := x.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, lhs := range init.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := pkg.Info.Defs[id]; obj != nil {
+								vars[obj] = true
+							}
+						}
+					}
+				}
+				inductionStack = append(inductionStack, vars)
+				ast.Inspect(x.Body, visit)
+				inductionStack = inductionStack[:len(inductionStack)-1]
+				return false
+			case *ast.RangeStmt:
+				vars := make(map[types.Object]bool)
+				for _, e := range []ast.Expr{x.Key, x.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+				inductionStack = append(inductionStack, vars)
+				ast.Inspect(x.Body, visit)
+				inductionStack = inductionStack[:len(inductionStack)-1]
+				return false
+			case *ast.GoStmt:
+				if !seen[x.Pos()] {
+					seen[x.Pos()] = true
+					out = append(out, r.scanSpawn(pkg, eng, x, induction())...)
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	return out
+}
+
+// scanSpawn classifies the spawn's parameters and walks the body.
+func (r SharedWrite) scanSpawn(pkg *Package, eng *ownEngine, g *ast.GoStmt, induction map[types.Object]bool) []Issue {
+	call := g.Call
+	argProv := func(i int) wprov {
+		if i >= len(call.Args) {
+			return provShared
+		}
+		arg := ast.Unparen(call.Args[i])
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil && induction[obj] {
+				return provSpawn
+			}
+		}
+		t := pkg.Info.Types[call.Args[i]].Type
+		if t != nil && valueCopied(t) {
+			return provPrivate // a by-value copy, though not distinct per spawn
+		}
+		return provShared // slices/pointers alias the spawner's memory
+	}
+	sc := &spawnScan{pkg: pkg, eng: eng, rule: r.Name(), visited: make(map[types.Object]int)}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		env := make(map[types.Object]wprov)
+		idx := 0
+		for _, field := range fun.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					env[obj] = argProv(idx)
+				}
+				idx++
+			}
+		}
+		sc.walkBody(fun.Body, fun, env)
+	case *ast.Ident, *ast.SelectorExpr:
+		obj := calleeObject(pkg, call)
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() != pkg.Types {
+			return nil // external spawn target: out of scope
+		}
+		node, ok := eng.ix.objToUnit[obj]
+		if !ok {
+			return nil
+		}
+		decl, ok := node.(*ast.FuncDecl)
+		if !ok || decl.Body == nil {
+			return nil
+		}
+		env := make(map[types.Object]wprov)
+		if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+			if robj := pkg.Info.Defs[decl.Recv.List[0].Names[0]]; robj != nil {
+				env[robj] = provShared
+			}
+		}
+		idx := 0
+		for _, field := range decl.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					env[obj] = argProv(idx)
+				}
+				idx++
+			}
+		}
+		sc.walkBody(decl.Body, decl, env)
+	}
+	return sc.issues
+}
+
+// valueCopied reports whether passing t copies the value (no aliasing of
+// spawner memory through it).
+func valueCopied(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !valueCopied(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return valueCopied(u.Elem())
+	}
+	return false
+}
+
+// spawnScan walks one spawned body (and same-package callees) enforcing
+// the write-provenance discipline.
+type spawnScan struct {
+	pkg     *Package
+	eng     *ownEngine
+	rule    string
+	issues  []Issue
+	visited map[types.Object]int // same-package descent guard
+	depth   int
+}
+
+const maxSpawnDepth = 4
+
+// frame is one walked body's state.
+type frame struct {
+	scan  *spawnScan
+	body  ast.Node // span for declared-inside tests
+	env   map[types.Object]wprov
+	mutex int // >0: lexically inside a Lock/Unlock span (or after defer Unlock)
+}
+
+func (sc *spawnScan) walkBody(body *ast.BlockStmt, span ast.Node, env map[types.Object]wprov) {
+	fr := &frame{scan: sc, body: span, env: env}
+	fr.walk(body)
+}
+
+func (fr *frame) prov(e ast.Expr) wprov {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := fr.scan.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = fr.scan.pkg.Info.Defs[x]
+		}
+		if obj == nil {
+			return provShared
+		}
+		if p, ok := fr.env[obj]; ok {
+			return p
+		}
+		if obj.Pos() >= fr.body.Pos() && obj.Pos() < fr.body.End() {
+			return provPrivate
+		}
+		return provShared
+	case *ast.SelectorExpr:
+		return fr.prov(x.X) // field of a received struct is received, etc.
+	case *ast.IndexExpr:
+		base := fr.prov(x.X)
+		if base == provShared && fr.indexIsSpawn(x.Index) {
+			// A shared slice indexed by the spawn-distinct id: the
+			// element is this goroutine's private slot.
+			return provPrivate
+		}
+		return base
+	case *ast.SliceExpr:
+		return fr.prov(x.X)
+	case *ast.StarExpr:
+		return fr.prov(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return fr.prov(x.X)
+		}
+		if x.Op == token.ARROW {
+			return provRecv
+		}
+		return provPrivate
+	case *ast.CallExpr, *ast.BasicLit, *ast.CompositeLit, *ast.FuncLit:
+		return provPrivate
+	}
+	return provShared
+}
+
+func (fr *frame) indexIsSpawn(idx ast.Expr) bool {
+	id, ok := ast.Unparen(idx).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := fr.scan.pkg.Info.Uses[id]
+	return obj != nil && fr.env[obj] == provSpawn
+}
+
+func (fr *frame) report(n ast.Node, format string, args ...interface{}) {
+	fr.scan.issues = append(fr.scan.issues, issue(fr.scan.pkg, n, fr.scan.rule, Error, format, args...))
+}
+
+// walk processes statements in order, tracking mutex spans lexically.
+func (fr *frame) walk(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		entry := fr.mutex
+		for _, st := range x.List {
+			fr.walk(st)
+		}
+		fr.mutex = entry
+	case *ast.AssignStmt:
+		fr.scanCalls(x.Rhs...)
+		for _, lhs := range x.Lhs {
+			fr.checkWrite(lhs)
+		}
+	case *ast.IncDecStmt:
+		fr.checkWrite(x.X)
+	case *ast.ExprStmt:
+		fr.scanCalls(x.X)
+	case *ast.SendStmt:
+		fr.scanCalls(x.Value) // the send itself is communication, not a write
+	case *ast.DeferStmt:
+		if fr.isMutexCall(x.Call, "Unlock", "RUnlock") {
+			fr.mutex++ // held for the remainder of the function
+			return
+		}
+		if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+			fr.walk(lit.Body) // deferred closure runs in this goroutine
+			return
+		}
+		fr.scanCalls(x.Call)
+	case *ast.GoStmt:
+		// A nested spawn starts a new goroutine: everything reachable
+		// from here is shared with it; scan its body in a fresh frame
+		// with no spawn-distinct bindings.
+		if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+			fr.scan.walkBody(lit.Body, lit, make(map[types.Object]wprov))
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			fr.walk(x.Init)
+		}
+		if isEnabledGuard(fr.scan.pkg, x.Cond, fr.scan.eng.checkPath) {
+			// Runtime-sanitizer bookkeeping: exempt by design.
+			if x.Else != nil {
+				fr.walk(x.Else)
+			}
+			return
+		}
+		fr.scanCalls(x.Cond)
+		fr.walk(x.Body)
+		if x.Else != nil {
+			fr.walk(x.Else)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			fr.walk(x.Init)
+		}
+		if x.Cond != nil {
+			fr.scanCalls(x.Cond)
+		}
+		fr.walk(x.Body)
+		if x.Post != nil {
+			fr.walk(x.Post)
+		}
+	case *ast.RangeStmt:
+		fr.scanCalls(x.X)
+		// Range over a channel: the bindings are received values.
+		if t := fr.scan.pkg.Info.Types[x.X].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				for _, e := range []ast.Expr{x.Key, x.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := fr.scan.pkg.Info.Defs[id]; obj != nil {
+							fr.env[obj] = provRecv
+						}
+					}
+				}
+			}
+		}
+		fr.walk(x.Body)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			fr.walk(x.Init)
+		}
+		fr.walk(x.Body)
+	case *ast.TypeSwitchStmt:
+		fr.walk(x.Body)
+	case *ast.SelectStmt:
+		fr.walk(x.Body)
+	case *ast.CaseClause:
+		for _, st := range x.Body {
+			fr.walk(st)
+		}
+	case *ast.CommClause:
+		if x.Comm != nil {
+			fr.walk(x.Comm)
+		}
+		for _, st := range x.Body {
+			fr.walk(st)
+		}
+	case *ast.LabeledStmt:
+		fr.walk(x.Stmt)
+	case *ast.ReturnStmt:
+		fr.scanCalls(x.Results...)
+	case *ast.DeclStmt:
+		ast.Inspect(x, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				fr.checkCall(call)
+			}
+			return true
+		})
+	}
+}
+
+// checkWrite enforces the provenance discipline on one write target.
+func (fr *frame) checkWrite(lhs ast.Expr) {
+	if fr.mutex > 0 {
+		return
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := fr.scan.pkg.Info.Uses[l]
+		if obj == nil {
+			return // a := definition: private by construction
+		}
+		if p, ok := fr.env[obj]; ok && p != provShared {
+			return
+		}
+		if obj.Pos() >= fr.body.Pos() && obj.Pos() < fr.body.End() {
+			return
+		}
+		fr.report(l, "goroutine writes captured variable %s without holding a lock; every spawned body may run this store concurrently", l.Name)
+	case *ast.IndexExpr:
+		base := fr.prov(l.X)
+		switch base {
+		case provPrivate, provSpawn:
+			return
+		case provShared:
+			if fr.indexIsSpawn(l.Index) {
+				return // the spawn-distinct slot idiom: panics[id] = e
+			}
+			fr.report(l, "goroutine writes shared slice at an index that is not the spawn-distinct id; prove ownership by indexing with the goroutine's own id or routing the write through a Kernel contract call")
+		case provRecv:
+			fr.report(l, "goroutine writes directly into a channel-received slice; received ranges must be written through a MulVecRange contract call so the verified kernel bounds apply")
+		}
+	case *ast.SelectorExpr:
+		if fr.prov(l.X) == provShared {
+			fr.report(l, "goroutine writes field %s of shared state without holding a lock", l.Sel.Name)
+		}
+	case *ast.StarExpr:
+		if fr.prov(l.X) == provShared {
+			fr.report(l, "goroutine writes through a shared pointer without holding a lock")
+		}
+	}
+}
+
+// scanCalls visits calls nested in expressions (excluding closure
+// bodies) and checks each.
+func (fr *frame) scanCalls(exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				fr.checkCall(x)
+			}
+			return true
+		})
+	}
+}
+
+// checkCall sanctions or flags one call made by the goroutine.
+func (fr *frame) checkCall(call *ast.CallExpr) {
+	pkg := fr.scan.pkg
+	if fr.isMutexCall(call, "Lock", "RLock") {
+		fr.mutex++
+		return
+	}
+	if fr.isMutexCall(call, "Unlock", "RUnlock") {
+		if fr.mutex > 0 {
+			fr.mutex--
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := pkg.Info.Uses[id].(*types.Builtin); builtin {
+			return
+		}
+	}
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	obj := calleeObject(pkg, call)
+	fn, _ := obj.(*types.Func)
+	if fn != nil && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if path == "sync" || path == "sync/atomic" {
+			return // synchronization primitives order their own memory
+		}
+		// The Kernel contract call: verified (or assumed for interface
+		// dispatch) to write only y[lo:hi]; safe on any non-shared args.
+		if fn.Name() == "MulVecRange" {
+			if sig, ok := fn.Type().(*types.Signature); ok && isContractSig(sig) {
+				// Only the output vector needs ownership: the contract
+				// proves x is never written, and writes land in y[lo:hi]
+				// — which localizes the race only if this goroutine owns
+				// that range (received it, or it is spawn-distinct).
+				if len(call.Args) == 4 && fr.argAliases(call.Args[1]) && fr.prov(call.Args[1]) == provShared {
+					fr.report(call, "goroutine passes a shared slice as MulVecRange's output; the contract only localizes writes for ranges the goroutine owns (received or spawn-distinct)")
+				}
+				return
+			}
+		}
+		// Same-package callee: descend with mapped provenances.
+		if fn.Pkg() == pkg.Types {
+			if node, ok := fr.scan.eng.ix.objToUnit[obj]; ok {
+				if decl, ok := node.(*ast.FuncDecl); ok && decl.Body != nil {
+					fr.descend(call, decl)
+					return
+				}
+			}
+		}
+	}
+	// Unknown callee (other package, interface, func value): flag only
+	// aliasing arguments with shared provenance — by-value arguments are
+	// copies, and receivers are the callee package's own responsibility.
+	for _, arg := range call.Args {
+		if fr.argAliases(arg) && fr.prov(arg) == provShared && !externalRooted(pkg, arg) {
+			fr.report(call, "goroutine passes shared memory to an unverified call; the callee may write it concurrently with other goroutines")
+			return
+		}
+	}
+}
+
+// externalRooted reports whether the expression is rooted at a variable
+// declared in another package (os.Stderr and friends). Such state is
+// outside the spawner's race domain: the owning package is responsible
+// for synchronizing access to its own exported variables.
+func externalRooted(pkg *Package, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		return obj != nil && obj.Pkg() != nil && obj.Pkg() != pkg.Types
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				obj := pkg.Info.Uses[x.Sel]
+				return obj != nil && obj.Pkg() != nil && obj.Pkg() != pkg.Types
+			}
+		}
+		return externalRooted(pkg, x.X)
+	}
+	return false
+}
+
+// argAliases reports whether the argument type can alias spawner memory.
+func (fr *frame) argAliases(arg ast.Expr) bool {
+	t := fr.scan.pkg.Info.Types[arg].Type
+	return t != nil && !valueCopied(t)
+}
+
+// descend walks a same-package callee with argument provenances mapped
+// onto its parameters.
+func (fr *frame) descend(call *ast.CallExpr, decl *ast.FuncDecl) {
+	sc := fr.scan
+	obj := sc.pkg.Info.Defs[decl.Name]
+	if sc.depth >= maxSpawnDepth || sc.visited[obj] > 0 {
+		return
+	}
+	sc.visited[obj]++
+	sc.depth++
+	defer func() { sc.visited[obj]--; sc.depth-- }()
+
+	env := make(map[types.Object]wprov)
+	if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+		if robj := sc.pkg.Info.Defs[decl.Recv.List[0].Names[0]]; robj != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				env[robj] = fr.prov(sel.X)
+			} else {
+				env[robj] = provShared
+			}
+		}
+	}
+	idx := 0
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			pobj := sc.pkg.Info.Defs[name]
+			if pobj != nil && idx < len(call.Args) {
+				if fr.argAliases(call.Args[idx]) {
+					env[pobj] = fr.prov(call.Args[idx])
+				} else {
+					env[pobj] = provPrivate
+				}
+			}
+			idx++
+		}
+	}
+	nf := &frame{scan: sc, body: decl, env: env, mutex: fr.mutex}
+	nf.walk(decl.Body)
+}
+
+// isMutexCall matches <expr>.Lock() / <expr>.Unlock() style calls on
+// sync package types.
+func (fr *frame) isMutexCall(call *ast.CallExpr, names ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return false
+	}
+	fn, ok := fr.scan.pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && strings.HasPrefix(fn.Pkg().Path(), "sync")
+}
+
+// issueAt builds an Issue at a raw token position.
+func issueAt(pkg *Package, pos token.Pos, rule string, sev Severity, format string, args ...interface{}) Issue {
+	return Issue{
+		Pos:      pkg.Fset.Position(pos),
+		Rule:     rule,
+		Severity: sev,
+		Msg:      fmt.Sprintf(format, args...),
+	}
+}

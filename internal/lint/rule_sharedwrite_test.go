@@ -1,0 +1,184 @@
+package lint
+
+import "testing"
+
+// fixtureRule instantiates SharedWrite scoped to the fixture package.
+func fixtureSharedWrite() SharedWrite {
+	return SharedWrite{Kernels: []string{"fixture"}}
+}
+
+// syncDep is a minimal source-level stand-in for the sync package so
+// fixtures can exercise mutex spans without export data.
+var syncDep = fixtureDep{path: "sync", src: `package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+`}
+
+func TestSharedWriteContractClean(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+type CSR struct {
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// MulVecRange writes exactly y[lo:hi]: certified clean.
+func (a *CSR) MulVecRange(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// reslicing narrows the window first; writes stay inside [lo, hi).
+type Update struct {
+	B []float64
+}
+
+func (u *Update) MulVecRange(r, x []float64, lo, hi int) {
+	r = r[lo:hi]
+	x = x[lo:hi]
+	b := u.B[lo:hi]
+	for i := range r {
+		x[i] += b[i] - r[i]
+	}
+}
+`)
+	if got := fixtureSharedWrite().Check(pkg); len(got) != 0 {
+		t.Fatalf("clean kernels flagged: %v", got)
+	}
+}
+
+func TestSharedWriteContractViolations(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+type OffByOne struct{}
+
+func (OffByOne) MulVecRange(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i+1] = x[i] // line 7: write escapes [lo, hi)
+	}
+}
+
+type WritesX struct{}
+
+func (WritesX) MulVecRange(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		x[i] = y[i] // line 15: writes the input vector
+	}
+}
+
+type WholeVector struct{}
+
+func (WholeVector) MulVecRange(x, y []float64, lo, hi int) {
+	for i := range y {
+		y[i] = 0 // line 23: ignores the assigned range
+	}
+}
+
+type Stateful struct{ calls int }
+
+func (s *Stateful) MulVecRange(x, y []float64, lo, hi int) {
+	s.calls++ // line 30: receiver write races across workers
+	for i := lo; i < hi; i++ {
+		y[i] = x[i]
+	}
+}
+`)
+	got := fixtureSharedWrite().Check(pkg)
+	if !sameLines(got, 7, 15, 23, 30) {
+		t.Fatalf("got %v (lines %v), want lines [7 15 23 30]", got, lines(got))
+	}
+}
+
+func TestSharedWriteGoroutineProvenance(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+func fanOut(n int) {
+	res := make([]float64, n)
+	var total float64
+	for id := 0; id < n; id++ {
+		go func(id int) {
+			res[id] = 1        // ok: spawn-distinct slot
+			res[id+1] = 2      // line 9: not the spawn-distinct id
+			total += res[id]   // line 10: captured write, no lock
+		}(id)
+	}
+}
+`)
+	got := fixtureSharedWrite().Check(pkg)
+	if !sameLines(got, 9, 10) {
+		t.Fatalf("got %v (lines %v), want lines [9 10]", got, lines(got))
+	}
+}
+
+func TestSharedWriteMutexSpans(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{syncDep}, `package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) work() {
+	go func() {
+		c.mu.Lock()
+		c.n++ // ok: lock held
+		c.mu.Unlock()
+		c.n++ // line 15: lock released
+	}()
+}
+`)
+	got := fixtureSharedWrite().Check(pkg)
+	if !sameLines(got, 15) {
+		t.Fatalf("got %v (lines %v), want line [15]", got, lines(got))
+	}
+}
+
+func TestSharedWriteReceivedRanges(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+type Kern interface {
+	MulVecRange(x, y []float64, lo, hi int)
+}
+
+type job struct {
+	y      []float64
+	lo, hi int
+}
+
+// worker owns only what it receives: direct element writes are flagged,
+// the contract call is the sanctioned write path.
+func worker(jobs chan job, x []float64, k Kern) {
+	for j := range jobs {
+		j.y[j.lo] = 0                     // line 16: raw write to received slice
+		k.MulVecRange(x, j.y, j.lo, j.hi) // ok: verified contract bounds apply
+	}
+}
+
+func start(jobs chan job, x []float64, k Kern) {
+	go worker(jobs, x, k)
+}
+
+// dispatcher hands its own shared slice to the contract: the bounds are
+// verified, but nothing makes this goroutine the range's owner.
+func dispatcher(k Kern, y []float64) {
+	go func() {
+		k.MulVecRange(y, y, 0, 8) // line 29: shared slice, unowned range
+	}()
+}
+`)
+	got := fixtureSharedWrite().Check(pkg)
+	if !sameLines(got, 16, 29) {
+		t.Fatalf("got %v (lines %v), want lines [16 29]", got, lines(got))
+	}
+}

@@ -257,6 +257,17 @@ func AddFlops(id EventID, rank int, flops int64) {
 	stats[id][rank].flops.Add(flops)
 }
 
+// AddCount credits n occurrences to an event on a rank without opening
+// a span. The worker pool uses it to count rows assigned per worker, so
+// the log view exposes partition balance without timing every chunk
+// twice.
+func AddCount(id EventID, rank int, n int64) {
+	if !on.Load() || rank < 0 || rank >= MaxRanks {
+		return
+	}
+	stats[id][rank].count.Add(n)
+}
+
 // AddComm credits message and byte counts to an event on a rank. The
 // par communicator calls this once per Send, so per-rank traffic is
 // measured rather than modeled.

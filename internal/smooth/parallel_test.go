@@ -1,0 +1,109 @@
+package smooth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prometheus/internal/pool"
+	"prometheus/internal/sparse"
+)
+
+// spdBlocked builds a random SPD-ish blocked operator in both storages.
+func spdBlocked(t *testing.T, nb, b int, rng *rand.Rand) (*sparse.CSR, *sparse.BSR) {
+	t.Helper()
+	bb := sparse.NewBlockBuilder(nb, nb, b)
+	blk := make([]float64, b*b)
+	for ib := 0; ib < nb; ib++ {
+		for _, jb := range []int{ib, rng.Intn(nb), rng.Intn(nb)} {
+			for k := range blk {
+				blk[k] = rng.NormFloat64()
+			}
+			if jb == ib {
+				for d := 0; d < b; d++ {
+					blk[d*b+d] += 4 * float64(b*b)
+				}
+			}
+			bb.AddBlock(ib, jb, blk)
+		}
+	}
+	bsr := bb.Build()
+	return bsr.ToCSR(), bsr
+}
+
+// TestParallelJacobiBitwise locks in the acceptance criterion for the
+// parallel smoother: iterates bitwise equal to serial Jacobi on both
+// storages for every pool size, and matching flop accounting.
+func TestParallelJacobiBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	csr, bsr := spdBlocked(t, 53, 3, rng)
+	n := csr.NRows
+	b := make([]float64, n)
+	x0 := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+		x0[i] = rng.NormFloat64()
+	}
+	for _, op := range []sparse.Operator{csr, bsr} {
+		ref := NewJacobi(op, 2.0/3)
+		want := append([]float64(nil), x0...)
+		ref.Smooth(want, b, 5)
+		for _, nw := range []int{1, 2, 3, 8} {
+			p := pool.New(nw)
+			par := NewParallelJacobi(op, 2.0/3, p)
+			got := append([]float64(nil), x0...)
+			par.Smooth(got, b, 5)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%T nw=%d row %d: parallel %v != serial %v", op, nw, i, got[i], want[i])
+				}
+			}
+			if par.Flops() != ref.Flops() {
+				t.Fatalf("%T nw=%d: flops %d != serial %d", op, nw, par.Flops(), ref.Flops())
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestParallelJacobiApplyMatchesJacobi checks the preconditioner form.
+func TestParallelJacobiApplyMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	csr, _ := spdBlocked(t, 20, 3, rng)
+	p := pool.New(2)
+	defer p.Close()
+	ref := NewJacobi(csr, 0.8)
+	par := NewParallelJacobi(csr, 0.8, p)
+	n := csr.NRows
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	zs := make([]float64, n)
+	zp := make([]float64, n)
+	ref.Apply(r, zs)
+	par.Apply(r, zp)
+	for i := range zs {
+		if math.Float64bits(zs[i]) != math.Float64bits(zp[i]) {
+			t.Fatalf("row %d: %v != %v", i, zp[i], zs[i])
+		}
+	}
+}
+
+// TestParallelJacobiZeroAlloc locks in allocation-free steady-state
+// sweeps (the pool satellite).
+func TestParallelJacobiZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	_, bsr := spdBlocked(t, 40, 3, rng)
+	p := pool.New(4)
+	defer p.Close()
+	p.Sanitizer().Disable()
+	par := NewParallelJacobi(bsr, 2.0/3, p)
+	n := bsr.Rows()
+	x := make([]float64, n)
+	b := make([]float64, n)
+	par.Smooth(x, b, 1)
+	if a := testing.AllocsPerRun(50, func() { par.Smooth(x, b, 1) }); a != 0 {
+		t.Fatalf("ParallelJacobi.Smooth allocates %.1f per sweep, want 0", a)
+	}
+}
