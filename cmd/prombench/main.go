@@ -10,12 +10,13 @@
 //
 // Experiments: table1, table2, fig7, fig9, fig10, fig11, fig12, fig13,
 // thinbody, ordering, parmis, amg, phases, headline, ablations,
-// blockbench, obsbench, parbench, all.
+// blockbench, obsbench, parbench, mixedbench, all.
 // -csv additionally writes the scaled series as CSV for plotting.
 // -json writes a kernel study as JSON to the given path: the obsbench
 // observability report when -exp obsbench, the parbench real-core
-// speedup study when -exp parbench, otherwise the blockbench CSR-vs-BSR
-// study (schemas in EXPERIMENTS.md).
+// speedup study when -exp parbench, the mixedbench mixed-precision
+// coarse-level study when -exp mixedbench, otherwise the blockbench
+// CSR-vs-BSR study (schemas in EXPERIMENTS.md).
 // -obs enables the observability subsystem for the whole run and prints
 // the -log_view-style event table after the experiments finish.
 package main
@@ -56,6 +57,7 @@ func main() {
 	var blockRep *experiments.BlockBenchReport
 	var obsRep *experiments.ObsBenchReport
 	var parRep *experiments.ParBenchReport
+	var mixedRep *experiments.MixedBenchReport
 	needSeries := func() error {
 		if runs != nil {
 			return nil
@@ -134,6 +136,14 @@ func main() {
 			parRep = rep
 			experiments.ParBenchTable(w, rep)
 			return nil
+		case "mixedbench":
+			rep, err := experiments.MixedBench()
+			if err != nil {
+				return err
+			}
+			mixedRep = rep
+			experiments.MixedBenchTable(w, rep)
+			return nil
 		case "ablations":
 			if err := experiments.AblationTOL(w); err != nil {
 				return err
@@ -160,9 +170,9 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table1", "fig9", "fig7", "table2", "fig10", "fig11",
-			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench", "obsbench", "parbench"}
+			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench", "obsbench", "parbench", "mixedbench"}
 	}
-	if *jsonPath != "" && *exp != "blockbench" && *exp != "obsbench" && *exp != "parbench" && *exp != "all" {
+	if *jsonPath != "" && *exp != "blockbench" && *exp != "obsbench" && *exp != "parbench" && *exp != "mixedbench" && *exp != "all" {
 		names = append(names, "blockbench")
 	}
 	for i, name := range names {
@@ -205,6 +215,8 @@ func main() {
 			err = experiments.WriteObsBenchJSON(f, obsRep)
 		case *exp == "parbench":
 			err = experiments.WriteParBenchJSON(f, parRep)
+		case *exp == "mixedbench":
+			err = experiments.WriteMixedBenchJSON(f, mixedRep)
 		default:
 			err = experiments.WriteBlockBenchJSON(f, blockRep)
 		}

@@ -78,24 +78,35 @@ func main() {
 	}
 }
 
-// selectRules filters DefaultRules by the -rules flag.
+// selectRules filters DefaultRules by the -rules flag. Unknown names are
+// rejected with the valid rule list in the message (a typo must not
+// silently shrink the rule set), empty list segments are skipped, and a
+// selection that ends up empty is an error rather than a vacuous clean run.
 func selectRules(list string) ([]lint.Rule, error) {
 	all := lint.DefaultRules()
 	if list == "" {
 		return all, nil
 	}
 	byName := make(map[string]lint.Rule, len(all))
+	valid := make([]string, 0, len(all))
 	for _, r := range all {
 		byName[r.Name()] = r
+		valid = append(valid, r.Name())
 	}
 	var out []lint.Rule
 	for _, name := range strings.Split(list, ",") {
 		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
 		r, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown rule %q", name)
+			return nil, fmt.Errorf("unknown rule %q; valid rules: %s", name, strings.Join(valid, ", "))
 		}
 		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rules %q selects no rules; valid rules: %s", list, strings.Join(valid, ", "))
 	}
 	return out, nil
 }

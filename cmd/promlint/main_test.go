@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"prometheus/internal/lint"
+)
+
+func TestSelectRulesDefault(t *testing.T) {
+	rules, err := selectRules("")
+	if err != nil {
+		t.Fatalf("selectRules(\"\") error: %v", err)
+	}
+	if len(rules) != len(lint.DefaultRules()) {
+		t.Fatalf("empty flag must select all %d rules, got %d", len(lint.DefaultRules()), len(rules))
+	}
+}
+
+func TestSelectRulesByName(t *testing.T) {
+	rules, err := selectRules(" float-equality , krylov-precision ,")
+	if err != nil {
+		t.Fatalf("selectRules error: %v", err)
+	}
+	if len(rules) != 2 || rules[0].Name() != "float-equality" || rules[1].Name() != "krylov-precision" {
+		names := make([]string, len(rules))
+		for i, r := range rules {
+			names[i] = r.Name()
+		}
+		t.Fatalf("selected %v, want [float-equality krylov-precision]", names)
+	}
+}
+
+func TestSelectRulesUnknownListsValidNames(t *testing.T) {
+	_, err := selectRules("float-equality,no-such-rule")
+	if err == nil {
+		t.Fatal("unknown rule name must be rejected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"no-such-rule"`) {
+		t.Errorf("error %q does not name the offending rule", msg)
+	}
+	// The message must enumerate the valid rules so the typo is fixable
+	// without reading the source.
+	for _, want := range []string{"float-equality", "shared-write", "narrowing-discipline", "accumulation-width", "krylov-precision"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not list valid rule %q", msg, want)
+		}
+	}
+}
+
+func TestSelectRulesEmptySelection(t *testing.T) {
+	for _, list := range []string{",", " , ,"} {
+		if _, err := selectRules(list); err == nil {
+			t.Errorf("selectRules(%q) must reject an empty selection", list)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+
+	"prometheus/internal/core"
+	"prometheus/internal/krylov"
+	"prometheus/internal/multigrid"
+	"prometheus/internal/problems"
+	"prometheus/internal/sparse"
+)
+
+// MixedBenchEntry is one {storage, precision} configuration of the
+// mixed-precision study: the coarse-level storage footprint, the FPCG
+// iteration count to 1e-8, the drift against the all-f64 solution with
+// the same storage, and the kernel timings where the narrowed operators
+// actually run (the V-cycle and the level-1 SpMV).
+type MixedBenchEntry struct {
+	Config            string  `json:"config"`
+	Storage           string  `json:"storage"`
+	Precision         string  `json:"precision"`
+	CoarseBytes       int64   `json:"coarse_bytes"`
+	CoarseBytesPerDof float64 `json:"coarse_bytes_per_dof"`
+	Iterations        int     `json:"fpcg_iterations"`
+	MaxDiffVsF64      float64 `json:"max_diff_vs_f64"`
+	VCycleNsPerOp     float64 `json:"vcycle_ns_per_op"`
+	VCycleAllocs      int64   `json:"vcycle_allocs_per_op"`
+	CoarseSpMVMflops  float64 `json:"coarse_spmv_mflops"`
+}
+
+// MixedBenchReport is the machine-readable result of the mixed-precision
+// coarse-level study (schema documented in EXPERIMENTS.md). The ratio and
+// delta fields are the acceptance metrics: narrowing must cut the
+// coarse-level bytes/dof by at least 1.3x per storage while costing at
+// most two extra FPCG iterations, and requesting f64 explicitly must stay
+// bitwise identical to the default configuration.
+type MixedBenchReport struct {
+	Problem             string            `json:"problem"`
+	Dof                 int               `json:"dof"`
+	NNZ                 int               `json:"nnz"`
+	Levels              int               `json:"levels"`
+	CoarseDof           int               `json:"coarse_dof"`
+	BytesPerDofRatioCSR float64           `json:"bytes_per_dof_ratio_csr"`
+	BytesPerDofRatioBSR float64           `json:"bytes_per_dof_ratio_bsr"`
+	IterDeltaCSR        int               `json:"iter_delta_csr"`
+	IterDeltaBSR        int               `json:"iter_delta_bsr"`
+	F64Bitwise          bool              `json:"f64_bitwise_identical"`
+	Entries             []MixedBenchEntry `json:"entries"`
+}
+
+// MixedBench builds the spheres multigrid hierarchy in {CSR, BSR} x
+// {f64, mixed} and measures what the mixed-precision mode trades: the
+// coarse-level operators shrink (bytes/dof) while the f64 fine level, the
+// f64 residual/correction transfers and FPCG's flexible outer iteration
+// keep the attainable accuracy — so the iteration count may grow only
+// within a small budget. MinCoarse 10 forces at least three levels so an
+// intermediate smoother actually sweeps narrowed storage; with only two
+// levels the coarsest f64 direct factor would hide the narrowing.
+func MixedBench() (*MixedBenchReport, error) {
+	ks, err := newKernelSystem(problems.SpheresConfig{Layers: 5, ElemsPerLayer: 1, CoreElems: 2, OuterElems: 2})
+	if err != nil {
+		return nil, err
+	}
+	kred := ks.Kred
+	h, err := core.Coarsen(ks.S.Mesh, core.Options{MinCoarse: 10})
+	if err != nil {
+		return nil, err
+	}
+	var rs []*sparse.CSR
+	for l := 1; l < h.NumLevels(); l++ {
+		rr := h.Grids[l].R
+		if l == 1 {
+			rr = multigrid.CompressCols(rr, ks.DM.Full2Red, ks.DM.NumFree())
+		}
+		rs = append(rs, rr)
+	}
+
+	rep := &MixedBenchReport{
+		Problem: ks.Problem(),
+		Dof:     kred.NRows,
+		NNZ:     kred.NNZ(),
+	}
+	n := kred.NRows
+
+	type config struct {
+		storage multigrid.StorageKind
+		sname   string
+		prec    multigrid.PrecisionKind
+		pname   string
+	}
+	configs := []config{
+		{multigrid.StorageCSR, "csr", multigrid.PrecisionF64, "f64"},
+		{multigrid.StorageCSR, "csr", multigrid.PrecisionMixedF32, "mixed"},
+		{multigrid.StorageBSR, "bsr", multigrid.PrecisionF64, "f64"},
+		{multigrid.StorageBSR, "bsr", multigrid.PrecisionMixedF32, "mixed"},
+	}
+	refX := map[string][]float64{}
+	refIts := map[string]int{}
+	bytesPerDof := map[string]float64{}
+	its := map[string]int{}
+	for _, c := range configs {
+		mg, err := multigrid.New(kred, rs, multigrid.Options{
+			Cycle:           multigrid.VCycle,
+			Storage:         c.storage,
+			CoarsePrecision: c.prec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(mg.Levels) < 2 {
+			return nil, fmt.Errorf("experiments: mixedbench needs a multilevel hierarchy, got %d levels", len(mg.Levels))
+		}
+		rep.Levels = len(mg.Levels)
+		var coarseBytes int64
+		coarseDof := 0
+		for l := 1; l < len(mg.Levels); l++ {
+			coarseBytes += sparse.StorageBytes(mg.Levels[l].A)
+			coarseDof += mg.Levels[l].A.Rows()
+		}
+		rep.CoarseDof = coarseDof
+
+		x := make([]float64, n)
+		res := krylov.FPCG(kred, ks.Rred, x, mg, 1e-8, 300)
+		if !res.Converged {
+			return nil, fmt.Errorf("experiments: mixedbench %s_%s FPCG did not converge in %d iterations", c.sname, c.pname, res.Iterations)
+		}
+		maxDiff := 0.0
+		if c.pname == "f64" {
+			refX[c.sname] = x
+			refIts[c.sname] = res.Iterations
+		} else {
+			for i, v := range refX[c.sname] {
+				if d := math.Abs(v - x[i]); d > maxDiff {
+					maxDiff = d
+				}
+			}
+		}
+
+		z := make([]float64, n)
+		vres := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mg.Apply(ks.Rred, z)
+			}
+		})
+		op := mg.Levels[1].A
+		cx := make([]float64, op.Cols())
+		cy := make([]float64, op.Rows())
+		for i := range cx {
+			cx[i] = float64(i%7) - 3
+		}
+		sres := testing.Benchmark(func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op.MulVec(cx, cy)
+			}
+		})
+
+		key := c.sname + "_" + c.pname
+		e := MixedBenchEntry{
+			Config:            key,
+			Storage:           c.sname,
+			Precision:         c.pname,
+			CoarseBytes:       coarseBytes,
+			CoarseBytesPerDof: float64(coarseBytes) / float64(coarseDof),
+			Iterations:        res.Iterations,
+			MaxDiffVsF64:      maxDiff,
+			VCycleNsPerOp:     float64(vres.NsPerOp()),
+			VCycleAllocs:      vres.AllocsPerOp(),
+		}
+		if sres.NsPerOp() > 0 {
+			flops := 2 * float64(op.NNZ())
+			e.CoarseSpMVMflops = flops / float64(sres.NsPerOp()) * 1e9 / 1e6
+		}
+		rep.Entries = append(rep.Entries, e)
+		bytesPerDof[key] = e.CoarseBytesPerDof
+		its[key] = res.Iterations
+	}
+
+	rep.BytesPerDofRatioCSR = bytesPerDof["csr_f64"] / bytesPerDof["csr_mixed"]
+	rep.BytesPerDofRatioBSR = bytesPerDof["bsr_f64"] / bytesPerDof["bsr_mixed"]
+	rep.IterDeltaCSR = its["csr_mixed"] - its["csr_f64"]
+	rep.IterDeltaBSR = its["bsr_mixed"] - its["bsr_f64"]
+
+	// Determinism: requesting PrecisionF64 explicitly is the same code
+	// path as the default zero-value Options — every FPCG iterate must be
+	// bitwise identical.
+	mgDefault, err := multigrid.New(kred, rs, multigrid.Options{Cycle: multigrid.VCycle, Storage: multigrid.StorageCSR})
+	if err != nil {
+		return nil, err
+	}
+	xd := make([]float64, n)
+	rd := krylov.FPCG(kred, ks.Rred, xd, mgDefault, 1e-8, 300)
+	rep.F64Bitwise = rd.Iterations == refIts["csr"]
+	for i, v := range refX["csr"] {
+		if math.Float64bits(v) != math.Float64bits(xd[i]) {
+			rep.F64Bitwise = false
+			break
+		}
+	}
+	return rep, nil
+}
+
+// WriteMixedBenchJSON writes the report as indented JSON.
+func WriteMixedBenchJSON(w io.Writer, rep *MixedBenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// MixedBenchTable renders the report as the human-readable study.
+func MixedBenchTable(w io.Writer, rep *MixedBenchReport) {
+	fmt.Fprintf(w, "Mixed-precision coarse-level study (%s, %d dof, %d nnz, %d levels, %d coarse dof)\n",
+		rep.Problem, rep.Dof, rep.NNZ, rep.Levels, rep.CoarseDof)
+	fmt.Fprintf(w, "%-12s %14s %6s %12s %12s %14s %10s\n",
+		"config", "coarse B/dof", "its", "max|dx|", "vcycle ns", "spmv Mflop/s", "allocs/op")
+	for _, e := range rep.Entries {
+		fmt.Fprintf(w, "%-12s %14.1f %6d %12.3g %12.0f %14.0f %10d\n",
+			e.Config, e.CoarseBytesPerDof, e.Iterations, e.MaxDiffVsF64,
+			e.VCycleNsPerOp, e.CoarseSpMVMflops, e.VCycleAllocs)
+	}
+	fmt.Fprintf(w, "coarse bytes/dof ratio f64/mixed: csr %.2fx, bsr %.2fx\n",
+		rep.BytesPerDofRatioCSR, rep.BytesPerDofRatioBSR)
+	fmt.Fprintf(w, "FPCG iteration delta mixed-f64: csr %+d, bsr %+d\n",
+		rep.IterDeltaCSR, rep.IterDeltaBSR)
+	fmt.Fprintf(w, "explicit f64 config bitwise identical to default: %v\n", rep.F64Bitwise)
+}

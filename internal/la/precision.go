@@ -1,0 +1,49 @@
+package la
+
+// This file holds the sanctioned precision boundaries of the solver. The
+// promlint precision-flow rules (narrowing-discipline, accumulation-width,
+// krylov-precision) treat these four functions as the only legal places
+// where solver data may change width:
+//
+//   - To32 / Narrow32 narrow float64 data into float32 storage. They are
+//     the designated storage boundaries — the multigrid hierarchy narrows
+//     coarse-level matrices here and nowhere else, so a reviewer (or the
+//     linter) can enumerate every narrowing site in the tree.
+//   - Wide64 / W64 widen float32 storage back to float64 compute. A value
+//     returned by either is precision-clean by definition: widening is
+//     exact, so the f32 taint tracked by krylov-precision stops here.
+//
+// W64 compiles to a single CVTSS2SD — it exists so the f32 kernels can
+// widen inside register-blocked loops without the linter (or a reader)
+// mistaking the conversion for an accidental one.
+
+// To32 narrows src into dst entry-wise. It is the sanctioned slice-level
+// float64→float32 storage boundary; callers are responsible for checking
+// representability first (check.F32Representable under promdebug).
+func To32(dst []float32, src []float64) {
+	if len(dst) != len(src) {
+		panic("la: To32 length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// Narrow32 narrows one value. It is the sanctioned scalar float64→float32
+// storage boundary.
+func Narrow32(v float64) float32 { return float32(v) }
+
+// Wide64 widens src into dst entry-wise (exact).
+func Wide64(dst []float64, src []float32) {
+	if len(dst) != len(src) {
+		panic("la: Wide64 length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
+// W64 widens one value (exact). Inlines to a bare conversion, so the f32
+// SpMV and smoother kernels pay one register instruction per operand and
+// keep their float64 accumulators.
+func W64(v float32) float64 { return float64(v) }

@@ -1,0 +1,62 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestNarrowWidenRoundTrip checks the defining property of the sanctioned
+// boundary: narrowing and widening back perturbs a value by at most half
+// a float32 ULP (round-to-nearest), and widening is exact.
+func TestNarrowWidenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(13)-6))
+		w := W64(Narrow32(v))
+		// Half-ULP bound for round-to-nearest: |w - v| <= eps32/2 * |v|,
+		// with eps32 = 2^-23.
+		if math.Abs(w-v) > math.Abs(v)/(1<<24) {
+			t.Fatalf("round trip of %g moved by %g, beyond half a float32 ULP", v, w-v)
+		}
+	}
+	// Widening an exact f32 value and narrowing back is the identity.
+	for i := 0; i < 1000; i++ {
+		v := float32(rng.NormFloat64())
+		if Narrow32(W64(v)) != v {
+			t.Fatalf("W64 -> Narrow32 is not the identity on float32 %v", v)
+		}
+	}
+}
+
+// TestSliceConversions checks To32/Wide64 element mapping and their
+// length-mismatch panics.
+func TestSliceConversions(t *testing.T) {
+	src := []float64{1, -2.5, 1e-30, 3.14159265358979, 1e30}
+	dst := make([]float32, len(src))
+	To32(dst, src)
+	for i, v := range src {
+		if dst[i] != float32(v) {
+			t.Fatalf("To32[%d] = %v, want %v", i, dst[i], float32(v))
+		}
+	}
+	back := make([]float64, len(src))
+	Wide64(back, dst)
+	for i := range back {
+		if back[i] != float64(dst[i]) {
+			t.Fatalf("Wide64[%d] = %v, want %v", i, back[i], float64(dst[i]))
+		}
+	}
+	mustPanic(t, "To32", func() { To32(make([]float32, 2), src) })
+	mustPanic(t, "Wide64", func() { Wide64(make([]float64, 2), dst) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s with mismatched lengths must panic", name)
+		}
+	}()
+	f()
+}

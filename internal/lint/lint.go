@@ -46,7 +46,19 @@
 //   - range-partition: fan-out loops handing row ranges to workers must
 //     match the telescoping partition shape (hi := lo + width; optional
 //     last-iteration clamp; lo = hi) with provably nonnegative width,
-//     so chunks are disjoint and cover [0, n) by construction.
+//     so chunks are disjoint and cover [0, n) by construction;
+//   - narrowing-discipline: every float64 -> float32 narrowing must go
+//     through the sanctioned la.Narrow32/la.To32 boundary — a bare
+//     float32(x) on solver data is an unaudited precision cut;
+//   - accumulation-width: reductions must be carried in float64 even
+//     over f32 operands — float32-typed `s += e` accumulators in loops,
+//     and looping calls to functions that (transitively) accumulate
+//     into float32 parameters, are flagged (see precision.go);
+//   - krylov-precision: internal/krylov is a float64-only zone — no
+//     float32 storage inside the package, and no f32-tainted value may
+//     reach a krylov call from importing packages without passing a
+//     sanctioned la.W64/la.Wide64 widening (interprocedural taint
+//     fixpoint, see precision.go).
 //
 // A finding can be suppressed in place with a directive comment on the
 // same line or the line above:
@@ -137,6 +149,12 @@ func DefaultRules() []Rule {
 		SharedWrite{},
 		&SyncDiscipline{},
 		RangePartition{},
+		NarrowingDiscipline{LaPath: "prometheus/internal/la"},
+		AccumulationWidth{LaPath: "prometheus/internal/la"},
+		KrylovPrecision{
+			KrylovPath: "prometheus/internal/krylov",
+			LaPath:     "prometheus/internal/la",
+		},
 	}
 }
 

@@ -445,6 +445,9 @@ func TestDefaultRulesComplete(t *testing.T) {
 		"shared-write":          true,
 		"sync-discipline":       true,
 		"range-partition":       true,
+		"narrowing-discipline":  true,
+		"accumulation-width":    true,
+		"krylov-precision":      true,
 	}
 	names := make([]string, 0, len(want))
 	for _, r := range DefaultRules() {

@@ -1,0 +1,356 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file implements the precision-flow analysis shared by the
+// narrowing-discipline, accumulation-width and krylov-precision rules.
+// The model is a two-element precision lattice, f64 ⊑ f32: a value is
+// f32-tainted when float32 storage participated in producing it, and the
+// taint survives bare widening — float64(x32) has the accuracy of its
+// float32 source, not of a float64. The only edges allowed to cross the
+// lattice are the sanctioned boundaries in internal/la:
+//
+//   - la.Narrow32 / la.To32 narrow f64 -> f32 (auditable, asserted
+//     finite+in-range under promdebug at the call sites that matter);
+//   - la.W64 / la.Wide64 widen f32 -> f64 and launder the taint — they
+//     mark a reviewed spot where f32-sourced data is allowed to enter
+//     f64 arithmetic (coarse-level smoothing, storage round-trips).
+//
+// The taint engine mirrors the SPMD analysis in spmd.go: per-package
+// object taint propagated to a fixpoint over assignments, range bindings,
+// value specs and same-package call arguments, plus a returns-tainted
+// function summary so taint crosses same-package call results. Package
+// boundaries are the engine's approximation limit: a value returned by
+// another package starts clean unless its static type itself contains
+// float32. That is the right cut for the krylov contract — the mixed-
+// precision multigrid preconditioner is *supposed* to cross the boundary
+// as a clean f64 operator, because its fine level and its residual and
+// correction transfers are all f64.
+
+// typeContainsF32 reports whether the static type structurally contains
+// float32: the basic type itself, or elements/fields reachable through
+// pointers, slices, arrays, maps, channels and struct fields. Interfaces
+// and function signatures are treated as opaque boundaries — a value
+// behind an interface carries whatever contract the interface documents,
+// not its dynamic storage type.
+func typeContainsF32(t types.Type) bool {
+	return f32InType(t, make(map[types.Type]bool))
+}
+
+func f32InType(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Basic:
+		return u.Kind() == types.Float32
+	case *types.Named:
+		return f32InType(u.Underlying(), seen)
+	case *types.Alias:
+		return f32InType(types.Unalias(u), seen)
+	case *types.Pointer:
+		return f32InType(u.Elem(), seen)
+	case *types.Slice:
+		return f32InType(u.Elem(), seen)
+	case *types.Array:
+		return f32InType(u.Elem(), seen)
+	case *types.Map:
+		return f32InType(u.Key(), seen) || f32InType(u.Elem(), seen)
+	case *types.Chan:
+		return f32InType(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if f32InType(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isBasicKind reports whether t's underlying type is the given basic kind.
+func isBasicKind(t types.Type, kind types.BasicKind) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+// isSanctionedWiden reports whether the call is one of the la widening
+// helpers (W64, Wide64) that launder f32 taint at a reviewed boundary.
+func isSanctionedWiden(pkg *Package, call *ast.CallExpr, laPath string) bool {
+	fn := resolvedCallee(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != laPath {
+		return false
+	}
+	return fn.Name() == "W64" || fn.Name() == "Wide64"
+}
+
+// conversionToF32 reports whether the call expression is a conversion to a
+// float32-underlying type of a non-constant float64 operand, returning the
+// operand. Constant operands are excluded: float32(0.5) is configuration,
+// not solver data, and its rounding is visible at the literal.
+func conversionToF32(pkg *Package, call *ast.CallExpr) (ast.Expr, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isBasicKind(tv.Type, types.Float32) {
+		return nil, false
+	}
+	arg := ast.Unparen(call.Args[0])
+	atv, ok := pkg.Info.Types[arg]
+	if !ok || atv.Value != nil {
+		return nil, false
+	}
+	if !isBasicKind(atv.Type, types.Float64) {
+		return nil, false
+	}
+	return arg, true
+}
+
+// precisionRootIdent peels index, selector, star and paren layers off an
+// lvalue and returns the root identifier, or nil for non-identifier roots
+// (calls, composite literals). Writing through an element or field taints
+// the whole container object, matching the storage-granular model.
+func precisionRootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// taintUnit is one function body in the f32-taint call graph.
+type taintUnit struct {
+	body           *ast.BlockStmt
+	params         []types.Object
+	returnsTainted bool
+}
+
+// f32Taint is the per-package f32 taint analysis state.
+type f32Taint struct {
+	pkg    *Package
+	laPath string
+
+	units     map[ast.Node]*taintUnit
+	objToUnit map[types.Object]ast.Node
+	tainted   map[types.Object]bool
+	changed   bool
+}
+
+// newF32Taint indexes the package's function bodies and runs the taint
+// fixpoint; the returned analysis answers exprTainted queries.
+func newF32Taint(pkg *Package, laPath string) *f32Taint {
+	a := &f32Taint{
+		pkg:     pkg,
+		laPath:  laPath,
+		units:   make(map[ast.Node]*taintUnit),
+		tainted: make(map[types.Object]bool),
+	}
+	ix := indexFuncs(pkg)
+	a.objToUnit = ix.objToUnit
+	for node, body := range ix.bodies {
+		u := &taintUnit{body: body}
+		var ft *ast.FuncType
+		switch d := node.(type) {
+		case *ast.FuncDecl:
+			ft = d.Type
+		case *ast.FuncLit:
+			ft = d.Type
+		}
+		if ft != nil && ft.Params != nil {
+			for _, field := range ft.Params.List {
+				for _, id := range field.Names {
+					u.params = append(u.params, pkg.Info.Defs[id])
+				}
+			}
+		}
+		a.units[node] = u
+	}
+	a.propagate()
+	return a
+}
+
+// calleeUnit resolves a call to a same-package unit, or nil.
+func (a *f32Taint) calleeUnit(call *ast.CallExpr) *taintUnit {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return a.units[lit]
+	}
+	obj := calleeObject(a.pkg, call)
+	if obj == nil {
+		return nil
+	}
+	if node, ok := a.objToUnit[obj]; ok {
+		return a.units[node]
+	}
+	return nil
+}
+
+// exprTainted reports whether the expression carries f32 taint: any
+// subexpression whose static type contains float32, any mention of a
+// tainted object, or a same-package call with a returns-tainted summary.
+// Bare conversions (float64(x32)) do not launder; subtrees under the
+// sanctioned la widening helpers do.
+func (a *f32Taint) exprTainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isSanctionedWiden(a.pkg, x, a.laPath) {
+				return false
+			}
+			if u := a.calleeUnit(x); u != nil && u.returnsTainted {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := a.pkg.Info.Uses[x]; obj != nil && a.tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		if ex, ok := n.(ast.Expr); ok {
+			if tv, ok := a.pkg.Info.Types[ex]; ok && tv.IsValue() && typeContainsF32(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// markObj adds an object to the taint set.
+func (a *f32Taint) markObj(obj types.Object) {
+	if obj != nil && !a.tainted[obj] {
+		a.tainted[obj] = true
+		a.changed = true
+	}
+}
+
+// markLhs taints the root object behind an assignment target.
+func (a *f32Taint) markLhs(e ast.Expr) {
+	id := precisionRootIdent(e)
+	if id == nil {
+		return
+	}
+	obj := a.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = a.pkg.Info.Uses[id]
+	}
+	a.markObj(obj)
+}
+
+// propagate runs the package-wide taint fixpoint over assignments, range
+// bindings, value specs, same-package call arguments, and the
+// returns-tainted summaries.
+func (a *f32Taint) propagate() {
+	for {
+		a.changed = false
+		for _, f := range a.pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					// One-to-one assignments taint per position; a
+					// multi-value rhs (call, map read) taints every target.
+					if len(x.Lhs) == len(x.Rhs) {
+						for i, r := range x.Rhs {
+							if a.exprTainted(r) {
+								a.markLhs(x.Lhs[i])
+							}
+						}
+					} else if len(x.Rhs) == 1 && a.exprTainted(x.Rhs[0]) {
+						for _, l := range x.Lhs {
+							a.markLhs(l)
+						}
+					}
+				case *ast.RangeStmt:
+					if a.exprTainted(x.X) {
+						a.markLhs(x.Key)
+						a.markLhs(x.Value)
+					}
+				case *ast.ValueSpec:
+					anyTainted := false
+					for _, v := range x.Values {
+						if a.exprTainted(v) {
+							anyTainted = true
+							break
+						}
+					}
+					if anyTainted {
+						for _, id := range x.Names {
+							a.markObj(a.pkg.Info.Defs[id])
+						}
+					}
+				case *ast.CallExpr:
+					if u := a.calleeUnit(x); u != nil {
+						for i, arg := range x.Args {
+							if i >= len(u.params) {
+								break
+							}
+							if a.exprTainted(arg) {
+								a.markObj(u.params[i])
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		// Returns-tainted summaries: a unit whose return statement yields
+		// a tainted expression taints its call results next round.
+		for _, u := range a.units {
+			if u.returnsTainted {
+				continue
+			}
+			found := false
+			ast.Inspect(u.body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				switch x := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.ReturnStmt:
+					for _, res := range x.Results {
+						if a.exprTainted(res) {
+							found = true
+							return false
+						}
+					}
+				}
+				return true
+			})
+			if found {
+				u.returnsTainted = true
+				a.changed = true
+			}
+		}
+		if !a.changed {
+			break
+		}
+	}
+}

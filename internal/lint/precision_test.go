@@ -1,0 +1,202 @@
+package lint
+
+import "testing"
+
+// laFixtureSrc is a minimal stand-in for internal/la's sanctioned
+// precision boundary, type-checked under import path "la" so the
+// precision rules can resolve the helpers in fixtures.
+const laFixtureSrc = `package la
+
+func Narrow32(v float64) float32 { return float32(v) }
+
+func W64(v float32) float64 { return float64(v) }
+
+func To32(dst []float32, src []float64) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+func Wide64(dst []float64, src []float32) {
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+`
+
+// krylovFixtureSrc is a stand-in for internal/krylov's entry points,
+// type-checked under import path "krylov".
+const krylovFixtureSrc = `package krylov
+
+func CG(b, x []float64, rtol float64, maxIter int) int {
+	return maxIter
+}
+`
+
+func laDep() fixtureDep { return fixtureDep{path: "la", src: laFixtureSrc} }
+
+func TestNarrowingDiscipline(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{laDep()}, `package fixture
+
+import "la"
+
+var sink float32
+
+func narrow(v float64, vs []float64, n int) {
+	sink = float32(v) // line 8: bare narrowing of solver data: flagged
+	sink = la.Narrow32(v)
+	dst := make([]float32, len(vs))
+	la.To32(dst, vs)
+	sink = float32(1.5)
+	sink = float32(n)
+	sink = float32((v)) // line 14: parens do not hide the cut: flagged
+	_ = dst
+}
+`)
+	got := NarrowingDiscipline{LaPath: "la"}.Check(pkg)
+	if !sameLines(got, 8, 14) {
+		t.Errorf("narrowing-discipline lines = %v, want [8 14]", lines(got))
+	}
+}
+
+func TestNarrowingDisciplineExemptsBoundaryPackage(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+func raw(v float64) float32 { return float32(v) }
+`)
+	if got := (NarrowingDiscipline{LaPath: "fixture"}).Check(pkg); len(got) != 0 {
+		t.Errorf("boundary package must be exempt, got %v", got)
+	}
+	if got := (NarrowingDiscipline{LaPath: "la"}).Check(pkg); !sameLines(got, 3) {
+		t.Errorf("non-boundary package lines = %v, want [3]", lines(got))
+	}
+}
+
+func TestAccumulationWidth(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{laDep()}, `package fixture
+
+import "la"
+
+func addInto(acc *float32, x float64) {
+	*acc += la.Narrow32(x)
+}
+
+func dots(a, b []float32, xs []float64) (float32, float64) {
+	var s32 float32
+	var s64 float64
+	for i := range a {
+		s32 += a[i] * b[i]
+		s64 += la.W64(a[i]) * la.W64(b[i])
+	}
+	for _, x := range xs {
+		s32 = s32 + la.Narrow32(x)
+		addInto(&s32, x)
+	}
+	s32 += 1
+	return s32, s64
+}
+`)
+	// Line 13: f32-typed += reduction in a loop. Line 17: the spelled-out
+	// s = s + e form. Line 18: the accumulating helper called in a loop —
+	// the helper's own += (line 6) is not in a loop and is not flagged.
+	// Line 14 (f64 accumulation over widened f32 operands) and line 20
+	// (+= outside any loop) are the sanctioned patterns.
+	got := AccumulationWidth{LaPath: "la"}.Check(pkg)
+	if !sameLines(got, 13, 17, 18) {
+		t.Errorf("accumulation-width lines = %v, want [13 17 18]", lines(got))
+	}
+}
+
+func TestAccumulationWidthTransitiveSummary(t *testing.T) {
+	pkg := checkFixtureWith(t, []fixtureDep{laDep()}, `package fixture
+
+import "la"
+
+func leaf(acc *float32, x float64) {
+	*acc += la.Narrow32(x)
+}
+
+func wrap(acc *float32, x float64) {
+	leaf(acc, x)
+}
+
+func drive(xs []float64) float32 {
+	var s float32
+	for _, x := range xs {
+		wrap(&s, x)
+	}
+	return s
+}
+`)
+	// wrap inherits leaf's accumulates-into-f32-param summary through the
+	// fixpoint, so the looping call on line 16 is the finding.
+	got := AccumulationWidth{LaPath: "la"}.Check(pkg)
+	if !sameLines(got, 16) {
+		t.Errorf("accumulation-width transitive lines = %v, want [16]", lines(got))
+	}
+}
+
+func TestKrylovPrecisionInsidePackage(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+type workspace struct {
+	v32 []float32
+	r   []float64
+}
+
+func solve(b []float64, scratch []float32) float64 {
+	return b[0]
+}
+`)
+	// The named type holding an f32 field (line 3), the field itself
+	// (line 4) and the f32 parameter (line 8) all violate the f64-only
+	// contract when declared inside the protected package.
+	got := KrylovPrecision{KrylovPath: "fixture", LaPath: "la"}.Check(pkg)
+	if !sameLines(got, 3, 4, 8) {
+		t.Errorf("krylov-precision inside lines = %v, want [3 4 8]", lines(got))
+	}
+}
+
+func TestKrylovPrecisionTaintedCallers(t *testing.T) {
+	deps := []fixtureDep{laDep(), {path: "krylov", src: krylovFixtureSrc}}
+	pkg := checkFixtureWith(t, deps, `package fixture
+
+import (
+	"krylov"
+	"la"
+)
+
+func widen(v float32) float64 { return float64(v) }
+
+func run(a32 []float32, n int) {
+	clean := make([]float64, n)
+	x := make([]float64, n)
+	krylov.CG(clean, x, 1e-8, n)
+	b := make([]float64, n)
+	b[0] = float64(a32[0])
+	krylov.CG(b, x, 1e-8, n)
+	c := make([]float64, n)
+	la.Wide64(c, a32)
+	krylov.CG(c, x, 1e-8, n)
+	krylov.CG(x, x, widen(a32[0]), n)
+}
+`)
+	// b is tainted by the bare float64(a32[0]) element write (line 15), so
+	// the solve on line 16 is flagged; widen's returns-tainted summary
+	// flags line 20. The pure-f64 solve (line 13) and the one fed through
+	// the sanctioned la.Wide64 boundary (lines 18-19) are clean.
+	got := KrylovPrecision{KrylovPath: "krylov", LaPath: "la"}.Check(pkg)
+	if !sameLines(got, 16, 20) {
+		t.Errorf("krylov-precision caller lines = %v, want [16 20]", lines(got))
+	}
+}
+
+func TestKrylovPrecisionIgnoresNonImporters(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+func narrowLocal(v float64) float32 { return float32(v) }
+`)
+	if got := (KrylovPrecision{KrylovPath: "krylov", LaPath: "la"}).Check(pkg); len(got) != 0 {
+		t.Errorf("package not importing krylov must be clean, got %v", got)
+	}
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AccumulationWidth flags reductions carried in float32. A blocked f32
+// SpMV or dot product loses accuracy not in the stored operands but in
+// the accumulator: summing n terms in f32 costs O(n·eps32) while f64
+// accumulation over f32 operands keeps the error at the storage level.
+// The mixed-precision kernels therefore widen each operand (la.W64) and
+// accumulate in float64; an `s += x*y` with an f32-typed s inside a loop
+// defeats that design silently. The rule reports:
+//
+//   - any float32-typed `s += e`, `s -= e`, or self-referential
+//     `s = s + e` inside a for/range loop body;
+//   - calls inside a loop to same-package functions that (transitively)
+//     accumulate into a float32-containing parameter — the helper's
+//     single `*acc += x` is fine in isolation and becomes a hidden f32
+//     reduction only at a looping call site, so that is where the
+//     finding lands.
+type AccumulationWidth struct {
+	// LaPath is the import path of the sanctioned precision-boundary
+	// package (internal/la), exempt from the rule.
+	LaPath string
+}
+
+// Name implements Rule.
+func (r AccumulationWidth) Name() string { return "accumulation-width" }
+
+// accUnit is one function body with its f32-accumulation summary.
+type accUnit struct {
+	body        *ast.BlockStmt
+	name        string
+	params      map[types.Object]bool // parameters whose type contains float32
+	accumulates bool                  // accumulates into an f32 param, directly or transitively
+}
+
+// Check implements Rule.
+func (r AccumulationWidth) Check(pkg *Package) []Issue {
+	if pkg.Path == r.LaPath {
+		return nil
+	}
+	ix := indexFuncs(pkg)
+	units := make(map[ast.Node]*accUnit)
+	for node, body := range ix.bodies {
+		u := &accUnit{body: body, name: "function literal", params: make(map[types.Object]bool)}
+		var ft *ast.FuncType
+		switch d := node.(type) {
+		case *ast.FuncDecl:
+			ft = d.Type
+			u.name = d.Name.Name
+		case *ast.FuncLit:
+			ft = d.Type
+		}
+		if ft != nil && ft.Params != nil {
+			for _, field := range ft.Params.List {
+				for _, id := range field.Names {
+					if obj := pkg.Info.Defs[id]; obj != nil && typeContainsF32(obj.Type()) {
+						u.params[obj] = true
+					}
+				}
+			}
+		}
+		units[node] = u
+	}
+	calleeAcc := func(call *ast.CallExpr) *accUnit {
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			return units[lit]
+		}
+		obj := calleeObject(pkg, call)
+		if obj == nil {
+			return nil
+		}
+		if node, ok := ix.objToUnit[obj]; ok {
+			return units[node]
+		}
+		return nil
+	}
+	// rootsOwnParam reports whether the expression is rooted at one of the
+	// unit's float32-carrying parameters.
+	rootsOwnParam := func(u *accUnit, e ast.Expr) bool {
+		id := precisionRootIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := pkg.Info.Uses[id]
+		return obj != nil && u.params[obj]
+	}
+	// Summary fixpoint: direct f32-param accumulation, plus handing an own
+	// f32 param to an already-accumulating same-package callee.
+	for {
+		changed := false
+		for _, u := range units {
+			if u.accumulates {
+				continue
+			}
+			found := false
+			ast.Inspect(u.body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				switch x := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.AssignStmt:
+					if lhs, ok := f32Accumulation(pkg, x); ok && rootsOwnParam(u, lhs) {
+						found = true
+						return false
+					}
+				case *ast.CallExpr:
+					if cu := calleeAcc(x); cu != nil && cu.accumulates {
+						for _, arg := range x.Args {
+							if rootsOwnParam(u, arg) {
+								found = true
+								return false
+							}
+						}
+					}
+				}
+				return true
+			})
+			if found {
+				u.accumulates = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Findings: f32 accumulation statements and accumulating calls inside
+	// loop bodies, per unit (nested function literals are their own units
+	// and start outside any loop).
+	var out []Issue
+	for _, u := range units {
+		loops := loopBodyRanges(u.body)
+		if len(loops) == 0 {
+			continue
+		}
+		ast.Inspect(u.body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				if _, ok := f32Accumulation(pkg, x); ok && inRanges(loops, x.Pos()) {
+					out = append(out, issue(pkg, x, r.Name(), Error,
+						"float32 accumulator in a loop loses O(n·eps32) accuracy; carry the reduction in float64 (widen operands with la.W64) and narrow once at the end"))
+				}
+			case *ast.CallExpr:
+				if cu := calleeAcc(x); cu != nil && cu.accumulates && inRanges(loops, x.Pos()) {
+					out = append(out, issue(pkg, x, r.Name(), Error,
+						"call to %s accumulates into float32 storage inside a loop; carry the reduction in float64 and narrow once through la.Narrow32/la.To32", cu.name))
+				}
+			}
+			return true
+		})
+	}
+	// Units come from a map; sort so direct Check calls are deterministic.
+	sortIssues(out)
+	return out
+}
+
+// f32Accumulation reports whether the assignment accumulates into a
+// float32-typed target: `s += e`, `s -= e`, or the spelled-out
+// `s = s + e` / `s = e + s` / `s = s - e` forms. It returns the target.
+func f32Accumulation(pkg *Package, as *ast.AssignStmt) (ast.Expr, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, false
+	}
+	lhs := as.Lhs[0]
+	tv, ok := pkg.Info.Types[lhs]
+	if !ok || !isBasicKind(tv.Type, types.Float32) {
+		return nil, false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return lhs, true
+	case token.ASSIGN:
+		bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+			return nil, false
+		}
+		ls := types.ExprString(ast.Unparen(lhs))
+		if types.ExprString(ast.Unparen(bin.X)) == ls {
+			return lhs, true
+		}
+		if bin.Op == token.ADD && types.ExprString(ast.Unparen(bin.Y)) == ls {
+			return lhs, true
+		}
+	}
+	return nil, false
+}
+
+// posRange is a half-open source position interval.
+type posRange struct{ lo, hi token.Pos }
+
+// loopBodyRanges collects the position ranges of for/range loop bodies in
+// the unit body, excluding nested function literals.
+func loopBodyRanges(body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			out = append(out, posRange{x.Body.Pos(), x.Body.End()})
+		case *ast.RangeStmt:
+			out = append(out, posRange{x.Body.Pos(), x.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// inRanges reports whether the position falls inside any of the ranges.
+func inRanges(rs []posRange, p token.Pos) bool {
+	for _, r := range rs {
+		if r.lo <= p && p < r.hi {
+			return true
+		}
+	}
+	return false
+}

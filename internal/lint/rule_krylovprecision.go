@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// KrylovPrecision enforces the float64-only contract of internal/krylov.
+// The Krylov solvers' convergence theory and their recurrences (residual
+// updates, Gram-Schmidt, the CG three-term recurrence) assume one uniform
+// working precision; f32-sourced values entering a solve silently degrade
+// the achievable tolerance and break the bitwise reproducibility the
+// determinism suite pins down. Mixed precision belongs in the
+// *preconditioner* (the multigrid coarse levels), behind the f64
+// residual/correction transfers, never in the Krylov iteration itself.
+// Two obligations:
+//
+//   - inside the krylov package, no declared variable, parameter, field
+//     or named type may structurally contain float32 at all;
+//   - in packages importing krylov, no f32-tainted value may flow into a
+//     krylov call argument. Taint seeds at every expression whose static
+//     type contains float32 and survives bare float64(x) widening — only
+//     the sanctioned la.W64/la.Wide64 boundaries launder it (see
+//     precision.go for the interprocedural fixpoint).
+type KrylovPrecision struct {
+	// KrylovPath is the import path of the protected solver package.
+	KrylovPath string
+	// LaPath is the import path of the sanctioned precision-boundary
+	// package whose W64/Wide64 helpers launder f32 taint.
+	LaPath string
+}
+
+// Name implements Rule.
+func (r KrylovPrecision) Name() string { return "krylov-precision" }
+
+// Check implements Rule.
+func (r KrylovPrecision) Check(pkg *Package) []Issue {
+	if pkg.Path == r.KrylovPath {
+		return r.checkInside(pkg)
+	}
+	if !usesPackage(pkg, r.KrylovPath) {
+		return nil
+	}
+	return r.checkCallers(pkg)
+}
+
+// checkInside flags any float32-containing declaration inside the krylov
+// package itself: the contract is structural, so the package cannot even
+// hold f32 storage, let alone compute with it.
+func (r KrylovPrecision) checkInside(pkg *Package) []Issue {
+	var out []Issue
+	seen := make(map[token.Pos]bool)
+	for id, obj := range pkg.Info.Defs {
+		if obj == nil || id.Name == "_" || seen[id.Pos()] {
+			continue
+		}
+		switch obj.(type) {
+		case *types.Var, *types.TypeName:
+		default:
+			continue
+		}
+		if typeContainsF32(obj.Type()) {
+			seen[id.Pos()] = true
+			out = append(out, issue(pkg, id, r.Name(), Error,
+				"float32 storage (%s) inside the krylov package; the Krylov solvers are float64-only by contract — widen at a la boundary before entering", id.Name))
+		}
+	}
+	// Defs is a map; sort so direct Check calls are deterministic.
+	sortIssues(out)
+	return out
+}
+
+// checkCallers runs the f32 taint fixpoint over the importing package and
+// reports every tainted argument of a call into krylov.
+func (r KrylovPrecision) checkCallers(pkg *Package) []Issue {
+	a := newF32Taint(pkg, r.LaPath)
+	var out []Issue
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := resolvedCallee(pkg, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != r.KrylovPath {
+				return true
+			}
+			for _, arg := range call.Args {
+				if a.exprTainted(arg) {
+					out = append(out, issue(pkg, arg, r.Name(), Error,
+						"float32-tainted value reaches krylov.%s; the Krylov solvers are float64-only — widen through la.W64/la.Wide64 at a sanctioned boundary", fn.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

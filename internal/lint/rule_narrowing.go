@@ -1,0 +1,44 @@
+package lint
+
+import "go/ast"
+
+// NarrowingDiscipline flags bare float32(x) conversions of non-constant
+// float64 values. Every narrowing of solver data must go through the
+// sanctioned la boundary — la.Narrow32 for scalars, la.To32 for slices —
+// so that precision cuts are few, named, greppable, and asserted
+// finite+in-f32-range under the promdebug build. A silent float32(...)
+// in the middle of an expression is exactly the kind of precision leak
+// the mixed-precision coarse-level path must not allow: it rounds
+// without an audit trail. Constant conversions are exempt (the rounding
+// of float32(0.5) is visible at the literal), as is the la package
+// itself, where the helpers necessarily perform the raw conversion.
+type NarrowingDiscipline struct {
+	// LaPath is the import path of the sanctioned precision-boundary
+	// package (internal/la), exempt from the rule.
+	LaPath string
+}
+
+// Name implements Rule.
+func (r NarrowingDiscipline) Name() string { return "narrowing-discipline" }
+
+// Check implements Rule.
+func (r NarrowingDiscipline) Check(pkg *Package) []Issue {
+	if pkg.Path == r.LaPath {
+		return nil
+	}
+	var out []Issue
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := conversionToF32(pkg, call); ok {
+				out = append(out, issue(pkg, call, r.Name(), Error,
+					"bare float32(...) narrows a float64 value outside the sanctioned boundary; use la.Narrow32 (scalar) or la.To32 (slice) so every precision cut is auditable"))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -61,6 +61,27 @@ const (
 	StorageBSR
 )
 
+// PrecisionKind selects the per-level value precision of the hierarchy.
+type PrecisionKind int
+
+const (
+	// PrecisionF64 (the default) keeps float64 storage on every level —
+	// bitwise identical to the pre-mixed-precision solver on both storages
+	// and at every pool worker count.
+	PrecisionF64 PrecisionKind = iota
+	// PrecisionMixedF32 narrows the storage of coarse levels (level >=
+	// CoarseF32Level) to float32 after the full hierarchy is built in
+	// float64: the Galerkin triple products, the coarsest direct
+	// factorization and every residual/correction transfer stay f64, and
+	// the smoothers on narrowed levels run f32 storage with f64
+	// accumulation. The fine level is never narrowed, so the f64-only
+	// contract of internal/krylov (enforced by the krylov-precision lint
+	// rule) holds structurally. Halves the bytes/dof of CSR coarse levels
+	// (CSR32: 8 B per entry vs 16) and matches the ROADMAP's
+	// "float32 coarse levels, Krylov stays float64" memory lever.
+	PrecisionMixedF32
+)
+
 // CycleKind selects the multigrid cycle used per preconditioner apply.
 type CycleKind int
 
@@ -87,6 +108,13 @@ type Options struct {
 	// BlockSize is the node-block size used by StorageBSR (default 3, the
 	// elasticity dofs-per-node).
 	BlockSize int
+	// CoarsePrecision selects f64 (default) or mixed f32 coarse-level
+	// storage; see PrecisionKind.
+	CoarsePrecision PrecisionKind
+	// CoarseF32Level is the first level narrowed by PrecisionMixedF32
+	// (default 1: every Galerkin level). Level 0 is never narrowed
+	// regardless of the threshold.
+	CoarseF32Level int
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +135,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BlockSize == 0 {
 		o.BlockSize = 3
+	}
+	if o.CoarseF32Level < 1 {
+		o.CoarseF32Level = 1
 	}
 	return o
 }
@@ -318,6 +349,18 @@ func newMG(fineA sparse.Operator, restrictions []*sparse.CSR, opts Options) (*MG
 		}
 		check.StrictlyDecreasing(dims, "multigrid.New level dims")
 	}
+	// Mixed precision: the whole hierarchy above was built — Galerkin
+	// triple products included — and checked in full float64; only now is
+	// the *storage* of the coarse levels narrowed, so narrowing perturbs
+	// each stored entry by at most one f32 rounding and never compounds
+	// through the coarsening products. The smoothers constructed below see
+	// the narrowed operators; the coarsest level keeps f64 until its exact
+	// direct factorization is taken and is narrowed right after.
+	if opts.CoarsePrecision == PrecisionMixedF32 {
+		for l := opts.CoarseF32Level; l < len(mg.Levels)-1; l++ {
+			mg.Levels[l].A = narrowOp(mg.Levels[l].A)
+		}
+	}
 	// Smoothers on all but the coarsest; direct solve on the coarsest.
 	for li, lvl := range mg.Levels {
 		lvl.x = make([]float64, lvl.A.Rows())
@@ -330,6 +373,12 @@ func newMG(fineA sparse.Operator, restrictions []*sparse.CSR, opts Options) (*MG
 			}
 			lvl.Direct = ch
 			mg.SetupFlops += ch.FactorFlops
+			if opts.CoarsePrecision == PrecisionMixedF32 && li >= opts.CoarseF32Level {
+				// The cycles never apply the coarsest operator once the
+				// exact f64 factorization exists, so its storage narrows
+				// too — the factor keeps the direct solve full-precision.
+				lvl.A = narrowOp(lvl.A)
+			}
 			continue
 		}
 		s, err := mg.makeSmoother(lvl.A)
@@ -341,6 +390,20 @@ func newMG(fineA sparse.Operator, restrictions []*sparse.CSR, opts Options) (*MG
 	return mg, nil
 }
 
+// narrowOp narrows one level operator into f32 storage, preserving the
+// blocked/scalar format. The conversions run through the sanctioned
+// la.To32 boundary and assert f32 representability under promdebug.
+func narrowOp(a sparse.Operator) sparse.Operator {
+	switch m := a.(type) {
+	case *sparse.CSR:
+		return sparse.ToCSR32(m)
+	case *sparse.BSR:
+		return sparse.ToBSR32(m)
+	default:
+		return a
+	}
+}
+
 func (mg *MG) makeSmoother(a sparse.Operator) (smooth.Smoother, error) {
 	switch mg.Opts.Smoother {
 	case Jacobi:
@@ -350,11 +413,14 @@ func (mg *MG) makeSmoother(a sparse.Operator) (smooth.Smoother, error) {
 	case Chebyshev:
 		return smooth.NewChebyshev(a, mg.Opts.ChebDegree, 30), nil
 	case NodeBlockJacobi:
-		ab, ok := a.(*sparse.BSR)
-		if !ok {
+		switch ab := a.(type) {
+		case *sparse.BSR:
+			return smooth.NewNodeBlockJacobi(ab, 2.0/3), nil
+		case *sparse.BSR32:
+			return smooth.NewNodeBlockJacobi32(ab, 2.0/3), nil
+		default:
 			return nil, errors.New("multigrid: NodeBlockJacobi smoother requires BSR storage (set Options.Storage = StorageBSR)")
 		}
-		return smooth.NewNodeBlockJacobi(ab, 2.0/3), nil
 	case DomainBlockJacobi:
 		bj, err := mg.blockJacobi(a)
 		if err != nil {

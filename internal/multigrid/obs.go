@@ -24,6 +24,10 @@ func storageName(a sparse.Operator) string {
 		return "bsr"
 	case *sparse.CSR:
 		return "csr"
+	case *sparse.BSR32:
+		return "bsr32"
+	case *sparse.CSR32:
+		return "csr32"
 	default:
 		return "op"
 	}

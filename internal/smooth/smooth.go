@@ -97,7 +97,13 @@ type GaussSeidel struct {
 // NewGaussSeidel builds an SOR smoother (omega = 1 is Gauss-Seidel).
 func NewGaussSeidel(a sparse.Operator, omega float64, sym bool) *GaussSeidel {
 	s := &GaussSeidel{A: a, Omega: omega, Sym: sym}
-	if ab, ok := a.(*sparse.BSR); ok {
+	switch ab := a.(type) {
+	case *sparse.BSR:
+		s.invBlk = invertDiagBlocks(ab.DiagBlocks(), ab.B)
+		s.sum = make([]float64, ab.B)
+	case *sparse.BSR32:
+		// The stored blocks are f32 but the inverses are computed and held
+		// in f64: narrowing touches the operator, never the smoother math.
 		s.invBlk = invertDiagBlocks(ab.DiagBlocks(), ab.B)
 		s.sum = make([]float64, ab.B)
 	}
@@ -238,9 +244,143 @@ func (s *GaussSeidel) sweep(x, b []float64, backward bool) {
 		s.sweepCSR(a, x, b, backward)
 	case *sparse.BSR:
 		s.sweepBSR(a, x, b, backward)
+	case *sparse.CSR32:
+		s.sweepCSR32(a, x, b, backward)
+	case *sparse.BSR32:
+		s.sweepBSR32(a, x, b, backward)
 	default:
-		panic("smooth: GaussSeidel needs row-traversable storage (CSR or BSR)")
+		panic("smooth: GaussSeidel needs row-traversable storage (CSR, BSR, CSR32 or BSR32)")
 	}
+}
+
+// sweepCSR32 is the f32-storage scalar sweep: the row accumulator and the
+// diagonal stay float64 (each stored value widened on use through la.W64),
+// so only the matrix representation is narrow.
+func (s *GaussSeidel) sweepCSR32(a *sparse.CSR32, x, b []float64, backward bool) {
+	n := a.NRows
+	for k := 0; k < n; k++ {
+		i := k
+		if backward {
+			i = n - 1 - k
+		}
+		sum := b[i]
+		diag := 0.0
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		cols := a.ColIdx[lo:hi]
+		vals := a.Val[lo:hi:hi]
+		vals = vals[:len(cols)] // equal lengths let the compiler drop bounds checks
+		for p, j := range cols {
+			if int(j) == i {
+				diag = la.W64(vals[p])
+				continue
+			}
+			sum -= la.W64(vals[p]) * x[j]
+		}
+		if diag == 0 {
+			panic(fmt.Sprintf("smooth: zero diagonal at row %d", i))
+		}
+		x[i] += s.Omega * (sum/diag - x[i])
+	}
+	s.flops += a.MulVecFlops() + 2*int64(n)
+}
+
+// sweepBSR32 is the f32-storage node-block sweep: off-block contributions
+// accumulate in the float64 scratch, and the block solve uses the f64
+// inverses computed at setup.
+func (s *GaussSeidel) sweepBSR32(a *sparse.BSR32, x, b []float64, backward bool) {
+	if a.B == 3 {
+		s.sweepBSR32three(a, x, b, backward)
+		return
+	}
+	nb := a.NBRows
+	bs := a.B
+	bb := bs * bs
+	sum := s.sum
+	for k := 0; k < nb; k++ {
+		ib := k
+		if backward {
+			ib = nb - 1 - k
+		}
+		br := b[ib*bs : ib*bs+bs : ib*bs+bs]
+		for d := range sum {
+			sum[d] = br[d]
+		}
+		for p := a.RowPtr[ib]; p < a.RowPtr[ib+1]; p++ {
+			jb := int(a.ColIdx[p])
+			if jb == ib {
+				continue
+			}
+			v := a.Val[p*bb : (p+1)*bb : (p+1)*bb]
+			xr := x[jb*bs : jb*bs+bs : jb*bs+bs]
+			for d := 0; d < bs; d++ {
+				acc := sum[d]
+				row := v[d*bs : d*bs+bs]
+				for c, vv := range row {
+					acc -= la.W64(vv) * xr[c]
+				}
+				sum[d] = acc
+			}
+		}
+		inv := s.invBlk[ib*bb : (ib+1)*bb : (ib+1)*bb]
+		xr := x[ib*bs : ib*bs+bs : ib*bs+bs]
+		for d := 0; d < bs; d++ {
+			z := 0.0
+			row := inv[d*bs : d*bs+bs]
+			for c, vv := range row {
+				z += vv * sum[c]
+			}
+			xr[d] += s.Omega * (z - xr[d])
+		}
+	}
+	s.flops += a.MulVecFlops() + int64(nb)*int64(2*bb+3*bs)
+}
+
+// sweepBSR32three is the register-blocked 3x3 specialization of
+// sweepBSR32, mirroring sweepBSR3 with widened operands and float64
+// accumulators.
+func (s *GaussSeidel) sweepBSR32three(a *sparse.BSR32, x, b []float64, backward bool) {
+	nb := a.NBRows
+	for k := 0; k < nb; k++ {
+		ib := k
+		if backward {
+			ib = nb - 1 - k
+		}
+		s0, s1, s2 := b[3*ib], b[3*ib+1], b[3*ib+2]
+		p, q := a.RowPtr[ib], a.RowPtr[ib+1]
+		cols := a.ColIdx[p:q]
+		vals := a.Val[9*p : 9*q : 9*q]
+		vals = vals[:9*len(cols)]
+		for kk, jb := range cols {
+			if int(jb) == ib {
+				continue
+			}
+			v := vals[9*kk : 9*kk+9 : 9*kk+9]
+			x0, x1, x2 := x[3*jb], x[3*jb+1], x[3*jb+2]
+			s0 -= la.W64(v[0]) * x0
+			s0 -= la.W64(v[1]) * x1
+			s0 -= la.W64(v[2]) * x2
+			s1 -= la.W64(v[3]) * x0
+			s1 -= la.W64(v[4]) * x1
+			s1 -= la.W64(v[5]) * x2
+			s2 -= la.W64(v[6]) * x0
+			s2 -= la.W64(v[7]) * x1
+			s2 -= la.W64(v[8]) * x2
+		}
+		inv := s.invBlk[9*ib : 9*ib+9 : 9*ib+9]
+		z0 := inv[0] * s0
+		z0 += inv[1] * s1
+		z0 += inv[2] * s2
+		z1 := inv[3] * s0
+		z1 += inv[4] * s1
+		z1 += inv[5] * s2
+		z2 := inv[6] * s0
+		z2 += inv[7] * s1
+		z2 += inv[8] * s2
+		x[3*ib] += s.Omega * (z0 - x[3*ib])
+		x[3*ib+1] += s.Omega * (z1 - x[3*ib+1])
+		x[3*ib+2] += s.Omega * (z2 - x[3*ib+2])
+	}
+	s.flops += a.MulVecFlops() + int64(nb)*int64(2*9+3*3)
 }
 
 // Smooth implements Smoother.
@@ -569,11 +709,12 @@ func (s *DomainBlockJacobi) NumBlocks() int {
 // state. Contrast DomainBlockJacobi, whose blocks are large graph-
 // partitioned subdomains solved by dense Cholesky.
 type NodeBlockJacobi struct {
-	A     *sparse.BSR
-	Omega float64
-	invD  []float64 // inverted BxB diagonal blocks, packed row-major
-	work  []float64
-	flops int64
+	A      sparse.Operator // BSR or BSR32 level operator
+	Omega  float64
+	bs, nb int       // block size and block-row count of A
+	invD   []float64 // inverted BxB diagonal blocks, packed row-major
+	work   []float64
+	flops  int64
 }
 
 // NewNodeBlockJacobi inverts the nodal diagonal blocks of a. omega damps
@@ -582,6 +723,22 @@ func NewNodeBlockJacobi(a *sparse.BSR, omega float64) *NodeBlockJacobi {
 	return &NodeBlockJacobi{
 		A:     a,
 		Omega: omega,
+		bs:    a.B,
+		nb:    a.NBRows,
+		invD:  invertDiagBlocks(a.DiagBlocks(), a.B),
+		work:  make([]float64, a.Rows()),
+	}
+}
+
+// NewNodeBlockJacobi32 is the f32-storage constructor: the diagonal blocks
+// are widened to float64 before inversion, so the smoother's update math
+// is identical to the f64 variant applied to the narrowed operator.
+func NewNodeBlockJacobi32(a *sparse.BSR32, omega float64) *NodeBlockJacobi {
+	return &NodeBlockJacobi{
+		A:     a,
+		Omega: omega,
+		bs:    a.B,
+		nb:    a.NBRows,
 		invD:  invertDiagBlocks(a.DiagBlocks(), a.B),
 		work:  make([]float64, a.Rows()),
 	}
@@ -596,9 +753,9 @@ func (s *NodeBlockJacobi) Smooth(x, b []float64, n int) {
 }
 
 func (s *NodeBlockJacobi) smooth(x, b []float64, n int) {
-	bs := s.A.B
+	bs := s.bs
 	bb := bs * bs
-	nb := s.A.NBRows
+	nb := s.nb
 	for it := 0; it < n; it++ {
 		s.A.Residual(b, x, s.work)
 		for ib := 0; ib < nb; ib++ {
@@ -620,9 +777,9 @@ func (s *NodeBlockJacobi) smooth(x, b []float64, n int) {
 
 // Apply implements Smoother: z = ω·M⁻¹·r.
 func (s *NodeBlockJacobi) Apply(r, z []float64) {
-	bs := s.A.B
+	bs := s.bs
 	bb := bs * bs
-	nb := s.A.NBRows
+	nb := s.nb
 	for ib := 0; ib < nb; ib++ {
 		inv := s.invD[ib*bb : (ib+1)*bb : (ib+1)*bb]
 		rr := r[ib*bs : ib*bs+bs : ib*bs+bs]

@@ -1,0 +1,164 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"prometheus/internal/la"
+)
+
+// decodeSPD turns fuzz bytes into a small symmetric diagonally dominant
+// M-matrix (Laplacian-like: negative off-diagonals, diagonal = |row sum|
+// + shift) with an even dimension, plus a right-hand side. Such systems
+// are SPD, and both weighted Jacobi and the aggregation two-grid cycle
+// below provably converge on them.
+func decodeSPD(data []byte) (*CSR, []float64) {
+	nc := 2
+	if len(data) > 0 {
+		nc = int(data[0])%10 + 2
+	}
+	n := 2 * nc
+	rowsum := make([]float64, n)
+	type edge struct {
+		i, j int
+		w    float64
+	}
+	var edges []edge
+	for k := 1; k+2 < len(data); k += 3 {
+		i := int(data[k]) % n
+		j := int(data[k+1]) % n
+		if i == j {
+			continue
+		}
+		w := (float64(data[k+2]) + 1) / 64
+		edges = append(edges, edge{i, j, w})
+		rowsum[i] += w
+		rowsum[j] += w
+	}
+	b := NewBuilder(n, n)
+	for _, e := range edges {
+		b.Add(e.i, e.j, -e.w)
+		b.Add(e.j, e.i, -e.w)
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, rowsum[i]+1)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		if len(data) > 0 {
+			rhs[i] = float64(int(data[i%len(data)])-128) / 32
+		} else {
+			rhs[i] = 1
+		}
+	}
+	return b.Build(), rhs
+}
+
+// aggregateCoarse builds the pairwise-aggregation Galerkin coarse matrix
+// A_c(I,J) = sum of A(i,j) over i in {2I,2I+1}, j in {2J,2J+1}.
+func aggregateCoarse(a *CSR) *CSR {
+	nc := a.NRows / 2
+	b := NewBuilder(nc, nc)
+	for i := 0; i < a.NRows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			b.Add(i/2, a.ColIdx[k]/2, a.Val[k])
+		}
+	}
+	return b.Build()
+}
+
+// twoGridIters runs a standalone two-grid V-cycle iteration — weighted
+// Jacobi smoothing on the f64 fine level, aggregation transfer, weighted
+// Jacobi on the (possibly narrowed) coarse operator — until the f64
+// residual drops below rtol, and returns the cycle count (maxIt when it
+// never converges). The fine level, the residual and both transfers stay
+// f64 regardless of the coarse storage, mirroring the mixed-precision
+// multigrid design.
+func twoGridIters(a *CSR, coarse Operator, b []float64, rtol float64, maxIt int) int {
+	const omega = 0.7
+	const sweeps = 2
+	n := a.NRows
+	nc := coarse.Rows()
+	d := a.Diag()
+	dc := coarse.Diag()
+	x := make([]float64, n)
+	r := make([]float64, n)
+	tmp := make([]float64, n)
+	rc := make([]float64, nc)
+	ec := make([]float64, nc)
+	tc := make([]float64, nc)
+	bnorm := la.Norm2(b)
+	if bnorm == 0 {
+		return 0
+	}
+	jacobi := func(op Operator, diag, xx, bb, t []float64) {
+		for s := 0; s < sweeps; s++ {
+			op.MulVec(xx, t)
+			for i := range xx {
+				xx[i] += omega * (bb[i] - t[i]) / diag[i]
+			}
+		}
+	}
+	for it := 1; it <= maxIt; it++ {
+		jacobi(a, d, x, b, tmp)
+		a.Residual(b, x, r)
+		for j := 0; j < nc; j++ {
+			rc[j] = r[2*j] + r[2*j+1]
+			ec[j] = 0
+		}
+		// A handful of coarse sweeps stand in for the coarse solve; this
+		// is where the f32 operator participates in the mixed variant.
+		for s := 0; s < 10; s++ {
+			coarse.MulVec(ec, tc)
+			for j := range ec {
+				ec[j] += omega * (rc[j] - tc[j]) / dc[j]
+			}
+		}
+		for j := 0; j < nc; j++ {
+			x[2*j] += ec[j]
+			x[2*j+1] += ec[j]
+		}
+		jacobi(a, d, x, b, tmp)
+		a.Residual(b, x, r)
+		if la.Norm2(r) <= rtol*bnorm {
+			return it
+		}
+	}
+	return maxIt
+}
+
+// FuzzMixedParity is the mixed-precision acceptance fuzz target: on
+// arbitrary small SPD systems, the two-grid cycle with an f32-narrowed
+// coarse operator must still converge to the full f64 tolerance — the
+// coarse perturbation can slow the contraction, never cap the attainable
+// accuracy — within a bounded extra-iteration budget over the all-f64
+// cycle. It also pins the storage round-trip property: narrowing then
+// widening moves each entry by at most half a float32 ULP.
+func FuzzMixedParity(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 200, 2, 3, 17, 5, 5, 255})
+	f.Add([]byte{9, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 250, 0, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeSPD(data)
+		a32 := ToCSR32(a)
+		for k, v := range a.Val {
+			if w := float64(a32.Val[k]); math.Abs(w-v) > math.Abs(v)/(1<<24) {
+				t.Fatalf("entry %d: f32 round trip moved %g by %g, beyond half a ULP", k, v, w-v)
+			}
+		}
+		coarse := aggregateCoarse(a)
+		const rtol = 1e-10
+		const maxIt = 300
+		full := twoGridIters(a, coarse, b, rtol, maxIt)
+		if full >= maxIt {
+			t.Fatalf("f64 two-grid did not converge in %d cycles", maxIt)
+		}
+		mixed := twoGridIters(a, ToCSR32(coarse), b, rtol, maxIt)
+		if mixed >= maxIt {
+			t.Fatalf("mixed two-grid did not converge in %d cycles (f64 took %d)", maxIt, full)
+		}
+		if mixed > full+5 {
+			t.Fatalf("mixed cycle needs %d iterations vs %d for f64, beyond the +5 budget", mixed, full)
+		}
+	})
+}

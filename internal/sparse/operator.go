@@ -33,22 +33,28 @@ type Operator interface {
 	MulVecFlops() int64
 }
 
-// Compile-time interface conformance for both storage formats.
+// Compile-time interface conformance for all four storage formats.
 var (
 	_ Operator = (*CSR)(nil)
 	_ Operator = (*BSR)(nil)
+	_ Operator = (*CSR32)(nil)
+	_ Operator = (*BSR32)(nil)
 )
 
 // AsCSR returns a scalar CSR view of op: the identity for *CSR, the
-// expanded scalar matrix for *BSR. It is the escape hatch for setup-time
-// code that genuinely needs row traversal (graph partitioning, direct
-// factorization, submatrix extraction); steady-state kernels should stay
-// on the Operator interface.
+// expanded (and for f32 storage, widened) scalar matrix otherwise. It is
+// the escape hatch for setup-time code that genuinely needs row traversal
+// (graph partitioning, direct factorization, submatrix extraction);
+// steady-state kernels should stay on the Operator interface.
 func AsCSR(op Operator) *CSR {
 	switch a := op.(type) {
 	case *CSR:
 		return a
 	case *BSR:
+		return a.ToCSR()
+	case *CSR32:
+		return a.ToCSR()
+	case *BSR32:
 		return a.ToCSR()
 	default:
 		panic("sparse: AsCSR: unsupported operator type")
