@@ -10,13 +10,14 @@
 //
 // Experiments: table1, table2, fig7, fig9, fig10, fig11, fig12, fig13,
 // thinbody, ordering, parmis, amg, phases, headline, ablations,
-// blockbench, obsbench, parbench, mixedbench, all.
+// blockbench, obsbench, parbench, mixedbench, servebench, all.
 // -csv additionally writes the scaled series as CSV for plotting.
 // -json writes a kernel study as JSON to the given path: the obsbench
 // observability report when -exp obsbench, the parbench real-core
 // speedup study when -exp parbench, the mixedbench mixed-precision
-// coarse-level study when -exp mixedbench, otherwise the blockbench
-// CSR-vs-BSR study (schemas in EXPERIMENTS.md).
+// coarse-level study when -exp mixedbench, the servebench
+// solver-as-a-service study when -exp servebench, otherwise the
+// blockbench CSR-vs-BSR study (schemas in EXPERIMENTS.md).
 // -obs enables the observability subsystem for the whole run and prints
 // the -log_view-style event table after the experiments finish.
 package main
@@ -27,6 +28,7 @@ import (
 	"os"
 
 	"prometheus/internal/experiments"
+	"prometheus/internal/experiments/servebench"
 	"prometheus/internal/multigrid"
 	"prometheus/internal/obs"
 )
@@ -58,6 +60,7 @@ func main() {
 	var obsRep *experiments.ObsBenchReport
 	var parRep *experiments.ParBenchReport
 	var mixedRep *experiments.MixedBenchReport
+	var serveRep *servebench.Report
 	needSeries := func() error {
 		if runs != nil {
 			return nil
@@ -144,6 +147,14 @@ func main() {
 			mixedRep = rep
 			experiments.MixedBenchTable(w, rep)
 			return nil
+		case "servebench":
+			rep, err := servebench.Run()
+			if err != nil {
+				return err
+			}
+			serveRep = rep
+			servebench.Table(w, rep)
+			return nil
 		case "ablations":
 			if err := experiments.AblationTOL(w); err != nil {
 				return err
@@ -170,9 +181,9 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table1", "fig9", "fig7", "table2", "fig10", "fig11",
-			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench", "obsbench", "parbench", "mixedbench"}
+			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench", "obsbench", "parbench", "mixedbench", "servebench"}
 	}
-	if *jsonPath != "" && *exp != "blockbench" && *exp != "obsbench" && *exp != "parbench" && *exp != "mixedbench" && *exp != "all" {
+	if *jsonPath != "" && *exp != "blockbench" && *exp != "obsbench" && *exp != "parbench" && *exp != "mixedbench" && *exp != "servebench" && *exp != "all" {
 		names = append(names, "blockbench")
 	}
 	for i, name := range names {
@@ -217,6 +228,8 @@ func main() {
 			err = experiments.WriteParBenchJSON(f, parRep)
 		case *exp == "mixedbench":
 			err = experiments.WriteMixedBenchJSON(f, mixedRep)
+		case *exp == "servebench":
+			err = servebench.WriteJSON(f, serveRep)
 		default:
 			err = experiments.WriteBlockBenchJSON(f, blockRep)
 		}

@@ -1,0 +1,83 @@
+// Command promserve runs the solver as a long-lived HTTP/JSON service:
+// POST /v1/solve solves one of the bundled parametric problems, with
+// semaphore admission control, optional streamed residual progress
+// (application/x-ndjson), and a hierarchy cache keyed by deterministic
+// mesh fingerprint so repeated geometries skip mesh setup and Galerkin
+// products entirely. Results are bitwise identical to direct promsolve
+// runs of the same spec.
+//
+// Usage:
+//
+//	promserve [-addr :8080] [-max-concurrent n] [-cache-entries n] [-obs]
+//
+// Endpoints (one server, one port):
+//
+//	POST /v1/solve     solve {"problem","size","rtol","cycle","stream",...}
+//	GET  /v1/sessions  solves in flight
+//	GET  /v1/cache     hierarchy cache contents + hit/miss totals
+//	GET  /healthz      liveness + watchdog status (promdebug builds)
+//	GET  /debug/vars   expvar, including the obs profile (prometheus_obs)
+//	GET  /debug/pprof  runtime profiling
+//
+// The process shuts down cleanly on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight solves drain (bounded by -drain), and the service
+// janitor is stopped.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prometheus/internal/obs"
+	"prometheus/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConc := flag.Int("max-concurrent", 4, "max concurrently admitted solves")
+	cacheEntries := flag.Int("cache-entries", 8, "max cached hierarchies")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight solves")
+	withObs := flag.Bool("obs", true, "record obs events/metrics (published on /debug/vars)")
+	flag.Parse()
+
+	if *withObs {
+		obs.EnableWith(obs.Config{RingCap: 1 << 17})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	svc := serve.New(serve.Config{
+		MaxConcurrent:   *maxConc,
+		MaxCacheEntries: *cacheEntries,
+	})
+	defer svc.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	// Shutdown bridge: when the signal context fires, stop accepting and
+	// drain. ListenAndServe below then returns ErrServerClosed and main
+	// unwinds through the deferred svc.Close.
+	go func() {
+		<-ctx.Done()
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "promserve: shutdown: %v\n", err)
+		}
+	}()
+
+	fmt.Printf("promserve listening on %s (max-concurrent %d, cache %d entries)\n",
+		*addr, *maxConc, *cacheEntries)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "promserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("promserve: drained, exiting")
+}

@@ -1,0 +1,327 @@
+// Package servebench measures the promserve solver-as-a-service layer
+// against an in-process instance: cold-vs-warm request cost (what the
+// hierarchy cache buys), closed-loop latency/throughput under a client
+// sweep, open-loop backpressure behaviour under an arrival sweep, and —
+// the correctness anchor — that served solutions stay bitwise identical
+// to direct in-process solver runs, cold and warm alike. It lives apart
+// from internal/experiments so the root package's benchmarks can import
+// the experiment suite without pulling in internal/serve (which imports
+// the root package).
+package servebench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"prometheus/internal/serve"
+)
+
+// Latency is a latency distribution over one request class.
+type Latency struct {
+	P50Ns  int64 `json:"p50_ns"`
+	P95Ns  int64 `json:"p95_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MeanNs int64 `json:"mean_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// ClosedPoint is one closed-loop measurement: a fixed client count,
+// each client firing its next request as soon as the previous returns.
+type ClosedPoint struct {
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	WallNs   int64   `json:"wall_ns"`
+	RPS      float64 `json:"rps"`
+	Latency  Latency `json:"latency"`
+}
+
+// OpenPoint is one open-loop measurement: requests arrive on a
+// fixed interval regardless of completions, without the wait flag, so a
+// saturated service sheds load as 503s instead of queueing.
+type OpenPoint struct {
+	IntervalNs int64   `json:"interval_ns"`
+	Requests   int     `json:"requests"`
+	Accepted   int     `json:"accepted"`
+	Rejected   int     `json:"rejected"`
+	Latency    Latency `json:"latency"`
+}
+
+// Report is the servebench study document (BENCH_PR8.json).
+type Report struct {
+	Problem string `json:"problem"`
+	Size    int    `json:"size"`
+	NumDOF  int    `json:"num_dof"`
+	Levels  int    `json:"levels"`
+	// ColdNs is the end-to-end first-request latency (includes the
+	// hierarchy build); ColdSetupNs the setup share the server reported.
+	ColdNs      int64 `json:"cold_ns"`
+	ColdSetupNs int64 `json:"cold_setup_ns"`
+	// Warm is the single-client warm-request latency distribution:
+	// every one of these requests hit the hierarchy cache.
+	Warm Latency `json:"warm"`
+	// CacheSpeedup is ColdNs over the warm median — the factor the
+	// fingerprint-keyed cache saves a repeat client.
+	CacheSpeedup float64 `json:"cache_speedup"`
+	// BitwiseIdentical is true iff every served solution hash (cold and
+	// warm, sequential and concurrent) equals the direct solver run's.
+	BitwiseIdentical bool          `json:"bitwise_identical"`
+	Closed           []ClosedPoint `json:"closed_loop"`
+	Open             []OpenPoint   `json:"open_loop"`
+}
+
+// latencyStats summarizes a sample of request latencies.
+func latencyStats(ns []int64) Latency {
+	if len(ns) == 0 {
+		return Latency{}
+	}
+	s := append([]int64(nil), ns...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	var sum int64
+	for _, v := range s {
+		sum += v
+	}
+	return Latency{
+		P50Ns:  pct(0.50),
+		P95Ns:  pct(0.95),
+		P99Ns:  pct(0.99),
+		MeanNs: sum / int64(len(s)),
+		MaxNs:  s[len(s)-1],
+	}
+}
+
+// postSolve fires one solve request and decodes the response. The int
+// is the HTTP status; on non-200 the response is zero-valued.
+func postSolve(url string, req serve.SolveRequest) (serve.SolveResponse, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.SolveResponse{}, 0, err
+	}
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.SolveResponse{}, 0, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return serve.SolveResponse{}, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return serve.SolveResponse{}, resp.StatusCode, nil
+	}
+	var out serve.SolveResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return serve.SolveResponse{}, resp.StatusCode, err
+	}
+	return out, resp.StatusCode, nil
+}
+
+// Run runs the solver-as-a-service study against an in-process
+// promserve instance.
+func Run() (*Report, error) {
+	spec := serve.Spec{Problem: "cube", Size: 1}
+	const (
+		rtol     = 1e-4
+		maxIters = 1000
+		cycle    = "fmg"
+		warmN    = 12
+	)
+
+	// Ground truth: the direct, in-process solver run.
+	direct, _, err := serve.DirectSolve(spec, 1, rtol, maxIters, cycle)
+	if err != nil {
+		return nil, err
+	}
+	directHash := serve.SolutionHash(direct)
+
+	svc := serve.New(serve.Config{MaxConcurrent: 4})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	rep := &Report{Problem: spec.Problem, Size: spec.Size, BitwiseIdentical: true}
+	req := serve.SolveRequest{Spec: spec, Wait: true}
+
+	check := func(r serve.SolveResponse, status int, err error) error {
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("servebench: solve status %d", status)
+		}
+		if r.SolutionHash != directHash {
+			rep.BitwiseIdentical = false
+		}
+		return nil
+	}
+
+	// Cold request: pays coarsening + assembly + Galerkin setup.
+	t0 := time.Now()
+	r, status, err := postSolve(ts.URL, req)
+	if cerr := check(r, status, err); cerr != nil {
+		return nil, cerr
+	}
+	rep.ColdNs = time.Since(t0).Nanoseconds()
+	rep.ColdSetupNs = r.SetupNs
+	rep.NumDOF = r.NumDOF
+	rep.Levels = r.Levels
+	if r.CacheHit {
+		return nil, fmt.Errorf("servebench: first request reported a cache hit")
+	}
+
+	// Warm single-client distribution: all hits.
+	var warm []int64
+	for i := 0; i < warmN; i++ {
+		t := time.Now()
+		r, status, err := postSolve(ts.URL, req)
+		if cerr := check(r, status, err); cerr != nil {
+			return nil, cerr
+		}
+		if !r.CacheHit {
+			return nil, fmt.Errorf("servebench: warm request %d missed the cache", i)
+		}
+		warm = append(warm, time.Since(t).Nanoseconds())
+	}
+	rep.Warm = latencyStats(warm)
+	if rep.Warm.P50Ns > 0 {
+		rep.CacheSpeedup = float64(rep.ColdNs) / float64(rep.Warm.P50Ns)
+	}
+
+	// Closed loop: fixed client counts, think time zero.
+	for _, clients := range []int{1, 2, 4} {
+		const perClient = 4
+		lat := make([][]int64, clients)
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		wall0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					t := time.Now()
+					r, status, err := postSolve(ts.URL, req)
+					if cerr := check(r, status, err); cerr != nil {
+						errs[c] = cerr
+						return
+					}
+					lat[c] = append(lat[c], time.Since(t).Nanoseconds())
+				}
+			}(c)
+		}
+		wg.Wait()
+		wallNs := time.Since(wall0).Nanoseconds()
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		var all []int64
+		for _, l := range lat {
+			all = append(all, l...)
+		}
+		rep.Closed = append(rep.Closed, ClosedPoint{
+			Clients:  clients,
+			Requests: len(all),
+			WallNs:   wallNs,
+			RPS:      float64(len(all)) / (float64(wallNs) / 1e9),
+			Latency:  latencyStats(all),
+		})
+	}
+
+	// Open loop: fixed arrival intervals, no wait flag — saturation
+	// surfaces as 503 backpressure, never as queue growth.
+	openReq := req
+	openReq.Wait = false
+	for _, interval := range []int64{rep.Warm.P50Ns, rep.Warm.P50Ns / 8} {
+		if interval <= 0 {
+			interval = 1
+		}
+		const n = 16
+		var wg sync.WaitGroup
+		lat := make([]int64, n)
+		codes := make([]int, n)
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int, interval int64) {
+				defer wg.Done()
+				time.Sleep(time.Duration(int64(i) * interval))
+				t := time.Now()
+				r, status, err := postSolve(ts.URL, openReq)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				codes[i] = status
+				if status == http.StatusOK {
+					if r.SolutionHash != directHash {
+						rep.BitwiseIdentical = false
+					}
+					lat[i] = time.Since(t).Nanoseconds()
+				}
+			}(i, interval)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		point := OpenPoint{IntervalNs: interval, Requests: n}
+		var accepted []int64
+		for i, code := range codes {
+			switch code {
+			case http.StatusOK:
+				point.Accepted++
+				accepted = append(accepted, lat[i])
+			case http.StatusServiceUnavailable:
+				point.Rejected++
+			default:
+				return nil, fmt.Errorf("servebench: open-loop request got status %d", code)
+			}
+		}
+		point.Latency = latencyStats(accepted)
+		rep.Open = append(rep.Open, point)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Table renders the report as the human-readable study.
+func Table(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "Solver-as-a-service study (%s size %d, %d dof, %d levels)\n",
+		rep.Problem, rep.Size, rep.NumDOF, rep.Levels)
+	fmt.Fprintf(w, "cold request %.2f ms (setup %.2f ms), warm p50 %.2f ms -> cache speedup %.1fx\n",
+		float64(rep.ColdNs)/1e6, float64(rep.ColdSetupNs)/1e6, float64(rep.Warm.P50Ns)/1e6, rep.CacheSpeedup)
+	fmt.Fprintf(w, "bitwise identical to direct solve: %v\n", rep.BitwiseIdentical)
+	fmt.Fprintf(w, "%-8s %9s %10s %10s %10s %10s %8s\n", "clients", "requests", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)", "req/s")
+	for _, p := range rep.Closed {
+		fmt.Fprintf(w, "%-8d %9d %10.2f %10.2f %10.2f %10.2f %8.1f\n",
+			p.Clients, p.Requests, float64(p.Latency.P50Ns)/1e6, float64(p.Latency.P95Ns)/1e6,
+			float64(p.Latency.P99Ns)/1e6, float64(p.Latency.MaxNs)/1e6, p.RPS)
+	}
+	fmt.Fprintf(w, "%-14s %9s %9s %9s %10s\n", "interval (ms)", "requests", "accepted", "rejected", "p95 (ms)")
+	for _, p := range rep.Open {
+		fmt.Fprintf(w, "%-14.2f %9d %9d %9d %10.2f\n",
+			float64(p.IntervalNs)/1e6, p.Requests, p.Accepted, p.Rejected, float64(p.Latency.P95Ns)/1e6)
+	}
+}

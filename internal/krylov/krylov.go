@@ -112,20 +112,37 @@ func pcg(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxI
 	return res
 }
 
+// Monitor observes a solve in flight: it is called once with the initial
+// residual (iter 0) and once per iteration with the current residual norm.
+// Returning false cancels the solve — the iteration stops where it is and
+// the Result reports Converged=false with the history so far. A monitor
+// must not retain or mutate solver state; it exists so long-running
+// callers (the serve streaming path) can forward progress and honor
+// context cancellation without polling.
+type Monitor func(iter int, rnorm float64) bool
+
 // FPCG solves A·x = b with flexible preconditioned conjugate gradients
 // (Polak-Ribière beta), which remains robust when the preconditioner is not
 // exactly symmetric — the full-multigrid (FMG) cycle the paper
 // preconditions with is such an operator. For a symmetric preconditioner
 // FPCG reproduces PCG at the cost of one extra stored vector.
 func FPCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
+	return FPCGMonitored(a, b, x, m, rtol, maxIter, nil)
+}
+
+// FPCGMonitored is FPCG with a progress monitor. A nil monitor is exactly
+// FPCG: the iteration performs the same floating-point operations in the
+// same order, so results are bitwise identical with or without a monitor
+// (a monitor only observes norms and may cut the iteration short).
+func FPCGMonitored(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int, mon Monitor) Result {
 	sp := obs.Start(evFPCG)
-	res := fpcg(a, b, x, m, rtol, maxIter)
+	res := fpcg(a, b, x, m, rtol, maxIter, mon)
 	sp.EndFlops(res.Flops)
 	cIterations.Add(int64(res.Iterations))
 	return res
 }
 
-func fpcg(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
+func fpcg(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int, mon Monitor) Result {
 	n := a.Rows()
 	if m == nil {
 		m = identity{}
@@ -146,6 +163,9 @@ func fpcg(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, max
 	rnorm := la.Norm2(r)
 	res.Residuals = append(res.Residuals, rnorm)
 	obs.RecordResidual(0, rnorm)
+	if mon != nil && !mon(0, rnorm) {
+		return res
+	}
 	if rnorm <= rtol*bnorm {
 		res.Converged = true
 		return res
@@ -172,6 +192,9 @@ func fpcg(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, max
 		res.Iterations++
 		res.Residuals = append(res.Residuals, rnorm)
 		obs.RecordResidual(res.Iterations, rnorm)
+		if mon != nil && !mon(res.Iterations, rnorm) {
+			return res
+		}
 		if rnorm <= rtol*bnorm {
 			res.Converged = true
 			return res

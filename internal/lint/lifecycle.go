@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the shared machinery of the four service-lifecycle
+// rules (goroutine-lifecycle, ctx-flow, resource-release, bounded-queue).
+// The rules certify the long-running service layer (internal/serve,
+// cmd/promserve): goroutines must have provable termination paths,
+// cancellation must flow through contexts, acquired resources must be
+// released on all paths, and every queue must be bounded by construction.
+//
+// The common vocabulary:
+//
+//   - a DONE SOURCE is a cancellation signal: a call to a method named
+//     Done returning a receive-only struct{} channel (context.Context's
+//     Done), or a chan struct{} object that is never the target of a
+//     send statement anywhere in the package — a channel only ever
+//     closed, which is the broadcast-close idiom;
+//   - a select statement is GUARDED when it has a default clause (it
+//     cannot block) or at least one done-source receive case (it
+//     unblocks on cancellation);
+//   - a BLOCKING OP is a channel operation that can block forever
+//     without a cancellation path: a send or non-done receive outside a
+//     guarded select, a range over a channel, an unguarded select, or
+//     an infinite for loop with no done-guarded exit.
+//
+// defaultServicePackages is the tree's service layer; the rule structs
+// take the list as configuration so fixtures can point them at the
+// fixture package.
+var defaultServicePackages = []string{
+	"prometheus/internal/serve",
+	"prometheus/cmd/promserve",
+}
+
+// serviceSet resolves a rule's configured service-package list.
+func serviceSet(configured []string) []string {
+	if configured != nil {
+		return configured
+	}
+	return defaultServicePackages
+}
+
+// isEmptyStructChan reports whether t is a (possibly directional)
+// channel of struct{} — the shape of done channels.
+func isEmptyStructChan(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// chanObject resolves the object a channel expression names: a variable
+// for identifiers, the field/method object for selector expressions.
+func chanObject(pkg *Package, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[x]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[x]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// collectSentTo walks the package and records every object that appears
+// as the channel of a send statement (in any form, including inside
+// selects). A chan struct{} absent from this set is only ever closed —
+// a done source.
+func collectSentTo(pkg *Package) map[types.Object]bool {
+	sent := make(map[types.Object]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if s, ok := n.(*ast.SendStmt); ok {
+				if obj := chanObject(pkg, s.Chan); obj != nil {
+					sent[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return sent
+}
+
+// isDoneSource reports whether the receive operand e is a cancellation
+// signal: ctx.Done()-shaped calls, or a never-sent-to chan struct{}.
+func isDoneSource(pkg *Package, e ast.Expr, sentTo map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		obj := calleeObject(pkg, call)
+		if obj == nil || obj.Name() != "Done" {
+			return false
+		}
+		tv, ok := pkg.Info.Types[e]
+		return ok && isEmptyStructChan(tv.Type)
+	}
+	obj := chanObject(pkg, e)
+	if obj == nil || !isEmptyStructChan(obj.Type()) {
+		return false
+	}
+	return !sentTo[obj]
+}
+
+// commRecvOperand extracts the channel operand of a select case's
+// communication when it is a receive (v := <-ch, <-ch), or nil for
+// sends.
+func commRecvOperand(comm ast.Stmt) ast.Expr {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X
+			}
+		}
+	}
+	return nil
+}
+
+// selectShape classifies one select statement for the lifecycle rules.
+type selectShape struct {
+	hasDefault bool
+	doneCases  []*ast.CommClause
+}
+
+// classifySelect inspects a select's clauses for defaults and
+// done-source receive cases.
+func classifySelect(pkg *Package, sel *ast.SelectStmt, sentTo map[types.Object]bool) selectShape {
+	var shape selectShape
+	for _, stmt := range sel.Body.List {
+		cc, ok := stmt.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			shape.hasDefault = true
+			continue
+		}
+		if op := commRecvOperand(cc.Comm); op != nil && isDoneSource(pkg, op, sentTo) {
+			shape.doneCases = append(shape.doneCases, cc)
+		}
+	}
+	return shape
+}
+
+// guarded reports whether the select cannot block forever: it either
+// never blocks (default) or unblocks on cancellation (done case).
+func (s selectShape) guarded() bool { return s.hasDefault || len(s.doneCases) > 0 }
+
+// hasDoneExit reports whether a done-source select case within body
+// (not crossing into nested function literals) exits via return or
+// break — the provable termination path of an infinite loop.
+func hasDoneExit(pkg *Package, body *ast.BlockStmt, sentTo map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range sel.Body.List {
+			cc, ok := stmt.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			op := commRecvOperand(cc.Comm)
+			if op == nil || !isDoneSource(pkg, op, sentTo) {
+				continue
+			}
+			for _, s := range cc.Body {
+				if stmtExits(s) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// blockingOp kinds. The collector classifies each potentially-forever
+// channel operation so each rule can report the subset it owns.
+const (
+	opSend       = "send"       // bare send outside any select
+	opSelectSend = "selectsend" // send comm of an unguarded select
+	opRecv       = "recv"       // bare receive from a non-done source
+	opRange      = "range"      // range over a channel
+	opSelect     = "select"     // select with no default and no done case
+	opForever    = "forever"    // infinite for with no done-guarded exit
+)
+
+// blockingOp is one channel operation (or loop) that can block forever.
+type blockingOp struct {
+	n    ast.Node
+	kind string
+}
+
+// collectBlockingOps walks one function unit's body (stopping at nested
+// function literals, which are separate units) and returns every
+// operation that can block without a cancellation path. Receives inside
+// guarded selects and sends seated as guarded-select comms are fine and
+// not reported; bounded for loops (any with a condition or range over a
+// slice) are assumed terminating.
+func collectBlockingOps(pkg *Package, body *ast.BlockStmt, sentTo map[types.Object]bool) []blockingOp {
+	var ops []blockingOp
+	var scan func(root ast.Node)
+	scan = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				shape := classifySelect(pkg, x, sentTo)
+				if !shape.guarded() {
+					ops = append(ops, blockingOp{x, opSelect})
+				}
+				for _, stmt := range x.Body.List {
+					cc, ok := stmt.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if !shape.guarded() {
+						if send, ok := cc.Comm.(*ast.SendStmt); ok {
+							ops = append(ops, blockingOp{send, opSelectSend})
+						}
+					}
+					for _, s := range cc.Body {
+						scan(s)
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				ops = append(ops, blockingOp{x, opSend})
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW && !isDoneSource(pkg, x.X, sentTo) {
+					ops = append(ops, blockingOp{x, opRecv})
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pkg.Info.Types[x.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						ops = append(ops, blockingOp{x, opRange})
+					}
+				}
+			case *ast.ForStmt:
+				if x.Cond == nil && !hasDoneExit(pkg, x.Body, sentTo) {
+					ops = append(ops, blockingOp{x, opForever})
+				}
+			}
+			return true
+		})
+	}
+	scan(body)
+	return ops
+}
+
+// stmtExits reports whether the statement (shallowly) leaves the
+// enclosing loop: a return, break, or a panic/os.Exit-style terminator
+// is out of scope — the done case of a janitor loop returns or breaks.
+func stmtExits(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return x.Tok == token.BREAK
+	case *ast.BlockStmt:
+		for _, inner := range x.List {
+			if stmtExits(inner) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		// An exit under a condition still proves a path out once the
+		// done case fires; require it unconditionally in the then/else
+		// arms to stay sound.
+		return false
+	}
+	return false
+}

@@ -58,7 +58,27 @@
 //     float32 storage inside the package, and no f32-tainted value may
 //     reach a krylov call from importing packages without passing a
 //     sanctioned la.W64/la.Wide64 widening (interprocedural taint
-//     fixpoint, see precision.go).
+//     fixpoint, see precision.go);
+//   - goroutine-lifecycle: every goroutine spawned in a service package
+//     (internal/serve, cmd/promserve) must have a provable termination
+//     path — blocking channel operations reachable from a go statement
+//     (traced through the package call graph) must be select-guarded by
+//     a default or a done/ctx case, and infinite loops must carry a
+//     done-guarded exit (see lifecycle.go);
+//   - ctx-flow: cancellation must flow through service signatures —
+//     ctx is the first parameter, never minted via context.Background
+//     outside package main, never stored in a struct field, and a
+//     ctx-holding function must not block in ways its ctx cannot
+//     cancel;
+//   - resource-release: every service acquire (admission slots, session
+//     checkouts, cache references, preconditioner leases) must be
+//     released on all paths — deferred, or with no return between
+//     acquire and release outside the acquire's own error guard
+//     (generalizes obs-discipline's Start/End pairing);
+//   - bounded-queue: service channels must have compile-time-constant
+//     capacity, and every send must be seated in a select with a
+//     default or done/ctx case, so backpressure is a 503 rather than a
+//     stuck request.
 //
 // A finding can be suppressed in place with a directive comment on the
 // same line or the line above:
@@ -155,6 +175,10 @@ func DefaultRules() []Rule {
 			KrylovPath: "prometheus/internal/krylov",
 			LaPath:     "prometheus/internal/la",
 		},
+		GoroutineLifecycle{},
+		CtxFlow{},
+		ResourceRelease{},
+		BoundedQueue{},
 	}
 }
 

@@ -448,6 +448,10 @@ func TestDefaultRulesComplete(t *testing.T) {
 		"narrowing-discipline":  true,
 		"accumulation-width":    true,
 		"krylov-precision":      true,
+		"goroutine-lifecycle":   true,
+		"ctx-flow":              true,
+		"resource-release":      true,
+		"bounded-queue":         true,
 	}
 	names := make([]string, 0, len(want))
 	for _, r := range DefaultRules() {

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BoundedQueue keeps every queue in the service layer bounded by
+// construction, so load shedding is a type-level property instead of an
+// operational hope:
+//
+//   - every buffered channel made in a service package must have a
+//     compile-time-constant capacity — a capacity computed from config
+//     or request data lets a runtime knob grow the queue unboundedly
+//     (unbuffered channels are rendezvous points and are fine);
+//   - every channel send must be seated in a select with a default
+//     clause (shed/drop when full) or a done/ctx case (give up on
+//     cancellation). A bare send is an unbounded wait on queue space —
+//     backpressure felt as a stuck request instead of a 503.
+//
+// Together with goroutine-lifecycle this pins the token-pool semaphore
+// idiom: a const-capacity channel seeded with select-default sends,
+// drained by select-guarded receives.
+type BoundedQueue struct {
+	// Services overrides the service-package list (defaults to the
+	// tree's serve/promserve layer); fixtures point it at themselves.
+	Services []string
+}
+
+// Name returns the rule identifier.
+func (BoundedQueue) Name() string { return "bounded-queue" }
+
+// Check analyzes one package.
+func (r BoundedQueue) Check(pkg *Package) []Issue {
+	if !pathInSet(pkg.Path, serviceSet(r.Services)) {
+		return nil
+	}
+	var issues []Issue
+	sentTo := collectSentTo(pkg)
+
+	// Channel construction: capacity must be a constant.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" {
+				return true
+			}
+			if _, ok := pkg.Info.Uses[id].(*types.Builtin); !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[call.Args[0]]
+			if !ok {
+				return true
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			capArg := call.Args[1]
+			if ctv, ok := pkg.Info.Types[capArg]; !ok || ctv.Value == nil {
+				issues = append(issues, issue(pkg, capArg, r.Name(), Error,
+					"channel capacity in a service package must be a compile-time constant; seed a const-capacity token pool instead of sizing the channel from config"))
+			}
+			return true
+		})
+	}
+
+	// Sends: must be select-guarded.
+	ix := indexFuncs(pkg)
+	for _, body := range ix.bodies {
+		for _, op := range collectBlockingOps(pkg, body, sentTo) {
+			switch op.kind {
+			case opSend:
+				issues = append(issues, issue(pkg, op.n, r.Name(), Error,
+					"bare channel send in a service package waits unboundedly for queue space; send inside a select with a default or done/ctx case"))
+			case opSelectSend:
+				issues = append(issues, issue(pkg, op.n, r.Name(), Error,
+					"send seated in a select with no default and no done/ctx case still waits unboundedly; add a default or done/ctx case"))
+			}
+		}
+	}
+	sortIssues(issues)
+	return issues
+}

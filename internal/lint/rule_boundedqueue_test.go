@@ -1,0 +1,76 @@
+package lint
+
+import "testing"
+
+func TestBoundedQueueViolations(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+type q struct {
+	done chan struct{}
+	ch   chan int
+}
+
+func sized(n int) {
+	a := make(chan int, n) // line 9: flagged - capacity from a variable
+	_ = a
+}
+
+func (s *q) enqueue(v int) {
+	s.ch <- v // line 14: flagged - bare send waits unboundedly
+}
+
+func (s *q) sendNoGuard(v int) {
+	select {
+	case s.ch <- v: // line 19: flagged - unguarded select send
+	}
+}
+`)
+	got := BoundedQueue{Services: []string{"fixture"}}.Check(pkg)
+	if !sameLines(got, 9, 14, 19) {
+		t.Errorf("bounded-queue lines = %v, want [9 14 19]", lines(got))
+	}
+}
+
+func TestBoundedQueueCleanShapes(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+const qcap = 8
+
+type q2 struct {
+	done chan struct{}
+	ch   chan int
+}
+
+func build() {
+	a := make(chan int, qcap)
+	_ = a
+	b := make(chan int)
+	_ = b
+}
+
+func (s *q2) offer(v int) bool {
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *q2) sendOrDone(v int) {
+	select {
+	case s.ch <- v:
+	case <-s.done:
+	}
+}
+
+func sliceOK(n int) {
+	v := make([]int, n)
+	_ = v
+}
+`)
+	got := BoundedQueue{Services: []string{"fixture"}}.Check(pkg)
+	if len(got) != 0 {
+		t.Errorf("clean bounded-queue shapes flagged: %v", got)
+	}
+}

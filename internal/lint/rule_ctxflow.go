@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFlow enforces the cancellation-flow discipline in service packages:
+// context.Context is how a request's lifetime reaches the code doing its
+// work, so it must flow through call signatures, never be minted
+// mid-stack or frozen into state.
+//
+//   - no context.Background()/context.TODO() outside package main: a
+//     library-side Background detaches work from the request that asked
+//     for it, so cancellation can never reach it. Commands own the root
+//     context, so main packages are exempt;
+//   - no context.Context struct fields: a stored ctx outlives the
+//     request it belongs to and silently rebinds later work to a dead
+//     (or worse, unrelated) lifetime. Pass it as an argument;
+//   - a context.Context parameter must be the first parameter, the
+//     signature convention every caller can rely on;
+//   - a function that receives a ctx must honor it at its blocking
+//     points: a select with no default and no done/ctx case, a bare
+//     receive from a non-done source, or a range over a channel inside
+//     a ctx-holding function blocks in a way its own ctx cannot cancel.
+type CtxFlow struct {
+	// Services overrides the service-package list (defaults to the
+	// tree's serve/promserve layer); fixtures point it at themselves.
+	Services []string
+}
+
+// Name returns the rule identifier.
+func (CtxFlow) Name() string { return "ctx-flow" }
+
+// Check analyzes one package.
+func (r CtxFlow) Check(pkg *Package) []Issue {
+	if !pathInSet(pkg.Path, serviceSet(r.Services)) {
+		return nil
+	}
+	var issues []Issue
+	sentTo := collectSentTo(pkg)
+
+	// Background/TODO calls and ctx struct fields, anywhere in the file.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if pkg.IsMain() {
+					return true
+				}
+				obj := calleeObject(pkg, x)
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+					return true
+				}
+				if name := obj.Name(); name == "Background" || name == "TODO" {
+					issues = append(issues, issue(pkg, x, r.Name(), Error,
+						"context.%s() outside package main detaches work from its request; accept a ctx parameter instead", name))
+				}
+			case *ast.StructType:
+				for _, field := range x.Fields.List {
+					tv, ok := pkg.Info.Types[field.Type]
+					if ok && isContextType(tv.Type) {
+						issues = append(issues, issue(pkg, field, r.Name(), Error,
+							"context.Context stored in a struct field outlives its request; pass ctx as a parameter"))
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Per function unit: parameter position and blocking-point checks.
+	ix := indexFuncs(pkg)
+	for unit, body := range ix.bodies {
+		params := unitParams(unit)
+		if params == nil {
+			continue
+		}
+		hasCtx := false
+		idx := 0
+		for _, field := range params.List {
+			width := len(field.Names)
+			if width == 0 {
+				width = 1
+			}
+			tv, ok := pkg.Info.Types[field.Type]
+			if ok && isContextType(tv.Type) {
+				hasCtx = true
+				if idx != 0 {
+					issues = append(issues, issue(pkg, field, r.Name(), Error,
+						"context.Context must be the first parameter"))
+				}
+			}
+			idx += width
+		}
+		if !hasCtx {
+			continue
+		}
+		for _, op := range collectBlockingOps(pkg, body, sentTo) {
+			switch op.kind {
+			case opSelect:
+				issues = append(issues, issue(pkg, op.n, r.Name(), Error,
+					"function holds a ctx but this select has no default and no done/ctx case; its own ctx cannot cancel it"))
+			case opRecv:
+				issues = append(issues, issue(pkg, op.n, r.Name(), Error,
+					"function holds a ctx but this receive cannot be cancelled; select on the channel and ctx.Done()"))
+			case opRange:
+				issues = append(issues, issue(pkg, op.n, r.Name(), Error,
+					"function holds a ctx but this range over a channel cannot be cancelled; select on the channel and ctx.Done()"))
+			}
+		}
+	}
+	sortIssues(issues)
+	return issues
+}
+
+// unitParams returns the parameter list of a function unit (declaration
+// or literal).
+func unitParams(unit ast.Node) *ast.FieldList {
+	switch x := unit.(type) {
+	case *ast.FuncDecl:
+		return x.Type.Params
+	case *ast.FuncLit:
+		return x.Type.Params
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package lint
+
+import "testing"
+
+func TestCtxFlowViolations(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+import "context"
+
+type holder struct {
+	ctx context.Context // line 6: flagged - ctx frozen into state
+}
+
+func detach() {
+	ctx := context.Background() // line 10: flagged
+	_ = ctx
+	ctx2 := context.TODO() // line 12: flagged
+	_ = ctx2
+}
+
+func wrongPos(name string, ctx context.Context) {} // line 16: flagged - ctx not first
+
+func blocks(ctx context.Context, ch chan int) {
+	<-ch // line 19: flagged - receive its own ctx cannot cancel
+	select { // line 20: flagged - select its own ctx cannot cancel
+	case v := <-ch:
+		_ = v
+	}
+	for v := range ch { // line 24: flagged - range its own ctx cannot cancel
+		_ = v
+	}
+}
+`)
+	got := CtxFlow{Services: []string{"fixture"}}.Check(pkg)
+	if !sameLines(got, 6, 10, 12, 16, 19, 20, 24) {
+		t.Errorf("ctx-flow lines = %v, want [6 10 12 16 19 20 24]", lines(got))
+	}
+}
+
+func TestCtxFlowCleanShapes(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+import "context"
+
+func first(ctx context.Context, n int) {
+	_ = n
+}
+
+func guarded(ctx context.Context, ch chan int) {
+	select {
+	case v := <-ch:
+		_ = v
+	case <-ctx.Done():
+		return
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+`)
+	got := CtxFlow{Services: []string{"fixture"}}.Check(pkg)
+	if len(got) != 0 {
+		t.Errorf("clean ctx shapes flagged: %v", got)
+	}
+}
+
+func TestCtxFlowMainPackageMayMintRoots(t *testing.T) {
+	pkg := checkFixture(t, `package main
+
+import "context"
+
+func run() {
+	ctx := context.Background()
+	_ = ctx
+}
+
+func main() { run() }
+`)
+	got := CtxFlow{Services: []string{"fixture"}}.Check(pkg)
+	if len(got) != 0 {
+		t.Errorf("context.Background in package main flagged: %v", got)
+	}
+}
+
+func TestCtxFlowNoCtxNoBlockingCheck(t *testing.T) {
+	// A function without a ctx parameter is not held to the
+	// blocking-point check by this rule (goroutine-lifecycle covers the
+	// spawned side).
+	pkg := checkFixture(t, `package fixture
+
+func wait(ch chan int) int {
+	return <-ch
+}
+`)
+	got := CtxFlow{Services: []string{"fixture"}}.Check(pkg)
+	if len(got) != 0 {
+		t.Errorf("ctx-less function held to ctx blocking check: %v", got)
+	}
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoroutineLifecycle flags goroutines in service packages without a
+// provable termination path. A long-running service leaks goroutines
+// exactly one way: a spawned function (or anything it calls inside the
+// package) blocks forever on a channel operation with no cancellation
+// path. The rule therefore:
+//
+//   - collects every go statement in a service package and resolves the
+//     spawned function through the shared function index (declared
+//     functions, methods, closure-bound locals, and direct literals);
+//   - walks the spawned call graph within the package (calls into other
+//     packages are assumed to manage their own lifecycle — the stdlib
+//     does, and the kernel substrate has its own ownership rules);
+//   - reports, at the offending operation, every blocking op reachable
+//     from a go statement: bare sends and non-done receives outside a
+//     guarded select, selects with neither a default nor a done/ctx
+//     case, ranges over channels, and infinite for loops with no
+//     done-guarded exit (a select case on a done source that returns
+//     or breaks).
+//
+// The sanctioned shapes this leaves are exactly the service idioms:
+// janitor loops of the form for { select { <-done: return; ... } },
+// token-pool operations select-guarded with a default, and shutdown
+// bridges that receive from ctx.Done().
+type GoroutineLifecycle struct {
+	// Services overrides the service-package list (defaults to the
+	// tree's serve/promserve layer); fixtures point it at themselves.
+	Services []string
+}
+
+// Name returns the rule identifier.
+func (GoroutineLifecycle) Name() string { return "goroutine-lifecycle" }
+
+// opMessage renders the finding text for one blocking-op kind.
+func opMessage(kind string) string {
+	switch kind {
+	case opSend:
+		return "channel send in a spawned goroutine can block forever; send inside a select with a default or done/ctx case"
+	case opSelectSend:
+		return "send seated in a select with no default and no done/ctx case can block forever"
+	case opRecv:
+		return "channel receive in a spawned goroutine can block forever; receive inside a select with a default or done/ctx case"
+	case opRange:
+		return "range over a channel in a spawned goroutine blocks until the channel closes; select on a done channel instead"
+	case opSelect:
+		return "select in a spawned goroutine has no default and no done/ctx case and can block forever"
+	default: // opForever
+		return "infinite for loop in a spawned goroutine has no done/ctx-guarded exit (select case on a done source that returns or breaks)"
+	}
+}
+
+// Check analyzes one package.
+func (r GoroutineLifecycle) Check(pkg *Package) []Issue {
+	if !pathInSet(pkg.Path, serviceSet(r.Services)) {
+		return nil
+	}
+	ix := indexFuncs(pkg)
+	sentTo := collectSentTo(pkg)
+
+	// Roots: the unit spawned by each go statement, wherever it sits.
+	var roots []ast.Node
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if unit := r.resolveUnit(pkg, ix, g.Call); unit != nil {
+				roots = append(roots, unit)
+			}
+			return true
+		})
+	}
+
+	// Walk the spawned subgraph, reporting each unit's direct blocking
+	// ops once.
+	var issues []Issue
+	visited := make(map[ast.Node]bool)
+	var visit func(unit ast.Node)
+	visit = func(unit ast.Node) {
+		if visited[unit] {
+			return
+		}
+		visited[unit] = true
+		body := ix.bodies[unit]
+		if body == nil {
+			return
+		}
+		for _, op := range collectBlockingOps(pkg, body, sentTo) {
+			issues = append(issues, issue(pkg, op.n, r.Name(), Error, "%s", opMessage(op.kind)))
+		}
+		for _, callee := range r.callEdges(pkg, ix, body) {
+			visit(callee)
+		}
+	}
+	for _, root := range roots {
+		visit(root)
+	}
+	sortIssues(issues)
+	return issues
+}
+
+// resolveUnit maps a spawned or invoked call to its same-package
+// function unit, or nil for calls into other packages.
+func (GoroutineLifecycle) resolveUnit(pkg *Package, ix *funcIndex, call *ast.CallExpr) ast.Node {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit
+	}
+	if obj := calleeObject(pkg, call); obj != nil {
+		return ix.objToUnit[obj]
+	}
+	return nil
+}
+
+// callEdges lists the same-package units a body invokes directly
+// (not crossing into nested literals, which are their own units and
+// reached through their own call edges).
+func (r GoroutineLifecycle) callEdges(pkg *Package, ix *funcIndex, body *ast.BlockStmt) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if unit := r.resolveUnit(pkg, ix, call); unit != nil {
+				out = append(out, unit)
+			}
+		}
+		return true
+	})
+	return out
+}

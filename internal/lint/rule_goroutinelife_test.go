@@ -1,0 +1,132 @@
+package lint
+
+import "testing"
+
+func TestGoroutineLifecycleViolations(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+type svc struct {
+	done chan struct{}
+	work chan int
+}
+
+func (s *svc) loopForever() {
+	for { // line 9: flagged - infinite loop without done-guarded exit
+	}
+}
+
+func (s *svc) drain() {
+	for v := range s.work { // line 14: flagged - range over channel
+		_ = v
+	}
+}
+
+func (s *svc) blockingHelper() {
+	<-s.work // line 20: flagged - bare receive, reached transitively
+}
+
+func (s *svc) callsHelper() {
+	s.blockingHelper()
+}
+
+func (s *svc) run() {
+	go s.loopForever()
+	go s.drain()
+	go s.callsHelper()
+	worker := func() {
+		s.work <- 1 // line 32: flagged - bare send in spawned closure
+	}
+	go worker()
+	go func() {
+		select { // line 36: flagged - select without default or done case
+		case v := <-s.work:
+			_ = v
+		}
+	}()
+}
+`)
+	got := GoroutineLifecycle{Services: []string{"fixture"}}.Check(pkg)
+	if !sameLines(got, 9, 14, 20, 32, 36) {
+		t.Errorf("goroutine-lifecycle lines = %v, want [9 14 20 32 36]", lines(got))
+	}
+}
+
+func TestGoroutineLifecycleCleanIdioms(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+import "context"
+
+type pool struct {
+	done   chan struct{}
+	tokens chan struct{}
+}
+
+func (p *pool) janitor() {
+	for {
+		select {
+		case <-p.done:
+			return
+		case p.tokens <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (p *pool) run(ctx context.Context) {
+	go p.janitor()
+	go func() {
+		<-ctx.Done()
+	}()
+	go func() {
+		for i := 0; i < 3; i++ {
+			_ = i
+		}
+	}()
+}
+`)
+	got := GoroutineLifecycle{Services: []string{"fixture"}}.Check(pkg)
+	if len(got) != 0 {
+		t.Errorf("clean service idioms flagged: %v", got)
+	}
+}
+
+func TestGoroutineLifecycleBlockingNotSpawnedIsFine(t *testing.T) {
+	// A blocking call on the synchronous path is ctx-flow's business;
+	// goroutine-lifecycle only analyzes the spawned subgraph.
+	pkg := checkFixture(t, `package fixture
+
+type svc struct {
+	work chan int
+}
+
+func (s *svc) waitSync() int {
+	return <-s.work
+}
+`)
+	got := GoroutineLifecycle{Services: []string{"fixture"}}.Check(pkg)
+	if len(got) != 0 {
+		t.Errorf("unspawned blocking receive flagged: %v", got)
+	}
+}
+
+func TestGoroutineLifecycleScopedToServices(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+type svc struct {
+	work chan int
+}
+
+func (s *svc) spin() {
+	go func() {
+		<-s.work
+	}()
+}
+`)
+	// Default service set does not contain the fixture path.
+	if got := (GoroutineLifecycle{}).Check(pkg); len(got) != 0 {
+		t.Errorf("rule fired outside its service packages: %v", got)
+	}
+	if got := (GoroutineLifecycle{Services: []string{"fixture"}}).Check(pkg); len(got) != 1 {
+		t.Errorf("rule missed the spawned bare receive: %v", got)
+	}
+}

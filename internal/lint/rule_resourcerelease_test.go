@@ -1,0 +1,129 @@
+package lint
+
+import "testing"
+
+func TestResourceReleaseViolations(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+type sem struct{ n int }
+
+func (s *sem) Acquire() error { return nil }
+func (s *sem) Release()       {}
+
+type entry struct{ n int }
+
+type cache struct{ e entry }
+
+func (c *cache) Checkout() *entry { return &c.e }
+func (c *cache) Checkin(e *entry) {}
+
+func leakNoRelease(s *sem) error {
+	if err := s.Acquire(); err != nil { // line 16: flagged - never released
+		return err
+	}
+	return nil
+}
+
+func leakOnPath(s *sem, fail bool) error {
+	if err := s.Acquire(); err != nil {
+		return err
+	}
+	if fail {
+		return nil // line 27: flagged - leaks the slot on this path
+	}
+	s.Release()
+	return nil
+}
+
+func discard(c *cache) {
+	c.Checkout() // line 34: flagged - acquired resource discarded
+}
+`)
+	got := ResourceRelease{Services: []string{"fixture"}}.Check(pkg)
+	if !sameLines(got, 16, 27, 34) {
+		t.Errorf("resource-release lines = %v, want [16 27 34]", lines(got))
+	}
+}
+
+func TestResourceReleaseCleanShapes(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+type sem struct{ n int }
+
+func (s *sem) Acquire() error { return nil }
+func (s *sem) Release()       {}
+
+type entry struct{ n int }
+
+type cache struct{ e entry }
+
+func (c *cache) Checkout() *entry { return &c.e }
+func (c *cache) Checkin(e *entry) {}
+
+type box struct{ e *entry }
+
+func deferredPair(s *sem, c *cache) error {
+	if err := s.Acquire(); err != nil {
+		return err
+	}
+	defer s.Release()
+	e := c.Checkout()
+	defer c.Checkin(e)
+	return nil
+}
+
+func deferredClosure(s *sem) error {
+	if err := s.Acquire(); err != nil {
+		return err
+	}
+	defer func() { s.Release() }()
+	return nil
+}
+
+func straightLine(s *sem) error {
+	if err := s.Acquire(); err != nil {
+		return err
+	}
+	s.Release()
+	return nil
+}
+
+func transfer(c *cache) *entry {
+	e := c.Checkout()
+	return e
+}
+
+func stash(c *cache, b *box) {
+	e := c.Checkout()
+	b.e = e
+}
+`)
+	got := ResourceRelease{Services: []string{"fixture"}}.Check(pkg)
+	if len(got) != 0 {
+		t.Errorf("clean acquire/release shapes flagged: %v", got)
+	}
+}
+
+func TestResourceReleaseDistinctReceivers(t *testing.T) {
+	// A release on one receiver must not satisfy another receiver's
+	// obligation.
+	pkg := checkFixture(t, `package fixture
+
+type sem struct{ n int }
+
+func (s *sem) Acquire() error { return nil }
+func (s *sem) Release()       {}
+
+func crossed(a, b *sem) error {
+	if err := a.Acquire(); err != nil { // line 9: flagged - b's release does not pay a's debt
+		return err
+	}
+	defer b.Release()
+	return nil
+}
+`)
+	got := ResourceRelease{Services: []string{"fixture"}}.Check(pkg)
+	if !sameLines(got, 9) {
+		t.Errorf("resource-release lines = %v, want [9]", lines(got))
+	}
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// SessionInfo is the JSON view of one solve session, live or summarized
+// in the /v1/sessions listing.
+type SessionInfo struct {
+	// ID is the monotonically increasing session id.
+	ID uint64 `json:"id"`
+	// Problem is the request's problem kind.
+	Problem string `json:"problem"`
+	// Size is the request's refinement parameter.
+	Size int `json:"size"`
+	// Key is the cache key (fingerprint + solve variant) the session
+	// resolved to; empty until the spec has been fingerprinted.
+	Key string `json:"key,omitempty"`
+	// StartUnixNs is the wall-clock start of the session.
+	StartUnixNs int64 `json:"start_unix_ns"`
+	// AgeNs is the session age at snapshot time.
+	AgeNs int64 `json:"age_ns"`
+}
+
+// session is one checked-out solve in flight.
+type session struct {
+	id      uint64
+	problem string
+	size    int
+	start   time.Time
+
+	mu  sync.Mutex
+	key string
+}
+
+// setKey records the resolved cache key once the spec is fingerprinted.
+func (s *session) setKey(key string) {
+	s.mu.Lock()
+	s.key = key
+	s.mu.Unlock()
+}
+
+// info snapshots the session for the listing endpoint.
+func (s *session) info(now time.Time) SessionInfo {
+	s.mu.Lock()
+	key := s.key
+	s.mu.Unlock()
+	return SessionInfo{
+		ID:          s.id,
+		Problem:     s.problem,
+		Size:        s.size,
+		Key:         key,
+		StartUnixNs: s.start.UnixNano(),
+		AgeNs:       now.Sub(s.start).Nanoseconds(),
+	}
+}
+
+// sessionManager tracks solves in flight. Checkout registers a session,
+// Checkin retires it; the pair is enforced on all paths by the
+// resource-release rule.
+type sessionManager struct {
+	mu      sync.Mutex
+	next    uint64
+	active  map[uint64]*session
+	total   uint64
+	longest time.Duration
+}
+
+func newSessionManager() *sessionManager {
+	return &sessionManager{active: make(map[uint64]*session)}
+}
+
+// Checkout registers a new in-flight session.
+func (m *sessionManager) Checkout(problem string, size int) *session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.next++
+	m.total++
+	s := &session{id: m.next, problem: problem, size: size, start: time.Now()}
+	m.active[s.id] = s
+	return s
+}
+
+// Checkin retires a session returned by Checkout.
+func (m *sessionManager) Checkin(s *session) {
+	d := time.Since(s.start)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.active, s.id)
+	if d > m.longest {
+		m.longest = d
+	}
+}
+
+// snapshot returns the live sessions (ordered by id) plus lifetime stats.
+func (m *sessionManager) snapshot() (live []SessionInfo, total uint64, longest time.Duration) {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.active {
+		live = append(live, s.info(now))
+	}
+	// Insertion sort by id: the active set is small (≤ admission limit).
+	for i := 1; i < len(live); i++ {
+		for j := i; j > 0 && live[j].ID < live[j-1].ID; j-- {
+			live[j], live[j-1] = live[j-1], live[j]
+		}
+	}
+	return live, m.total, m.longest
+}

@@ -1,0 +1,7 @@
+//go:build !promdebug
+
+package serve
+
+// installWatchdog is a no-op in release builds: the par watchdog (and its
+// hook) exists only under the promdebug build tag.
+func (s *Server) installWatchdog() {}

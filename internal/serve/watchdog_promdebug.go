@@ -1,0 +1,15 @@
+//go:build promdebug
+
+package serve
+
+import "prometheus/internal/par"
+
+// installWatchdog bridges the promdebug communication watchdog into the
+// service health endpoint: when a rank stalls past the watchdog
+// threshold, the dump lands in /healthz (status "stalled") instead of
+// only on stderr.
+func (s *Server) installWatchdog() {
+	par.SetWatchdogHook(func(dump string) {
+		s.watchdogDump.Store(dump)
+	})
+}

@@ -237,6 +237,33 @@ func (s *Solver) Preconditioner(kred Operator) (*multigrid.MG, error) {
 	return multigrid.New(kred, s.rs, s.Opts.MG)
 }
 
+// ReduceSystem eliminates the Dirichlet-constrained dofs from a
+// full-numbering stiffness matrix and load vector, returning the reduced
+// operator and right-hand side FPCG actually solves. It exposes the first
+// half of SolveLinear so long-running callers (the serve layer) can split
+// the solve into cacheable setup and per-request iteration while staying
+// bitwise identical to SolveLinear.
+func (s *Solver) ReduceSystem(k *CSR, f []float64) (*CSR, []float64) {
+	return s.cons.Reduce(k, f, s.dofMap)
+}
+
+// ExpandSolution scatters a reduced-system solution back to the full dof
+// numbering with the prescribed Dirichlet values in place — the second
+// half of SolveLinear. The input x is not modified.
+func (s *Solver) ExpandSolution(x []float64) []float64 {
+	u := make([]float64, s.Mesh.NumDOF())
+	s.cons.Expand(x, s.dofMap, u)
+	return u
+}
+
+// Fingerprint returns the deterministic content hash of this solver's
+// mesh, constraint set and coarsening options (core.Fingerprint). Two
+// solvers with equal fingerprints build bit-identical hierarchies, so the
+// hash is a sound key for hierarchy caching.
+func (s *Solver) Fingerprint() string {
+	return core.Fingerprint(s.Mesh, s.cons.Fixed, s.Opts.Coarsen)
+}
+
 // SolveLinear solves K·u = f where K and f are assembled on the full dof
 // numbering of the mesh and the solver's constraints prescribe u on the
 // Dirichlet set. The returned u is full-length with the prescribed values
