@@ -10,12 +10,13 @@
 //
 // Experiments: table1, table2, fig7, fig9, fig10, fig11, fig12, fig13,
 // thinbody, ordering, parmis, amg, phases, headline, ablations,
-// blockbench, obsbench, parbench, mixedbench, servebench, all.
+// blockbench, obsbench, parbench, mixedbench, mfbench, servebench, all.
 // -csv additionally writes the scaled series as CSV for plotting.
 // -json writes a kernel study as JSON to the given path: the obsbench
 // observability report when -exp obsbench, the parbench real-core
 // speedup study when -exp parbench, the mixedbench mixed-precision
-// coarse-level study when -exp mixedbench, the servebench
+// coarse-level study when -exp mixedbench, the mfbench matrix-free
+// storage-mode study when -exp mfbench, the servebench
 // solver-as-a-service study when -exp servebench, otherwise the
 // blockbench CSR-vs-BSR study (schemas in EXPERIMENTS.md).
 // -obs enables the observability subsystem for the whole run and prints
@@ -60,6 +61,7 @@ func main() {
 	var obsRep *experiments.ObsBenchReport
 	var parRep *experiments.ParBenchReport
 	var mixedRep *experiments.MixedBenchReport
+	var mfRep *experiments.MFBenchReport
 	var serveRep *servebench.Report
 	needSeries := func() error {
 		if runs != nil {
@@ -147,6 +149,14 @@ func main() {
 			mixedRep = rep
 			experiments.MixedBenchTable(w, rep)
 			return nil
+		case "mfbench":
+			rep, err := experiments.MFBench()
+			if err != nil {
+				return err
+			}
+			mfRep = rep
+			experiments.MFBenchTable(w, rep)
+			return nil
 		case "servebench":
 			rep, err := servebench.Run()
 			if err != nil {
@@ -181,9 +191,9 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table1", "fig9", "fig7", "table2", "fig10", "fig11",
-			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench", "obsbench", "parbench", "mixedbench", "servebench"}
+			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench", "obsbench", "parbench", "mixedbench", "mfbench", "servebench"}
 	}
-	if *jsonPath != "" && *exp != "blockbench" && *exp != "obsbench" && *exp != "parbench" && *exp != "mixedbench" && *exp != "servebench" && *exp != "all" {
+	if *jsonPath != "" && *exp != "blockbench" && *exp != "obsbench" && *exp != "parbench" && *exp != "mixedbench" && *exp != "mfbench" && *exp != "servebench" && *exp != "all" {
 		names = append(names, "blockbench")
 	}
 	for i, name := range names {
@@ -228,6 +238,8 @@ func main() {
 			err = experiments.WriteParBenchJSON(f, parRep)
 		case *exp == "mixedbench":
 			err = experiments.WriteMixedBenchJSON(f, mixedRep)
+		case *exp == "mfbench":
+			err = experiments.WriteMFBenchJSON(f, mfRep)
 		case *exp == "servebench":
 			err = servebench.WriteJSON(f, serveRep)
 		default:

@@ -103,7 +103,10 @@ func BlockBench() (*BlockBenchReport, error) {
 	jacB := smooth.NewJacobi(kb, 2.0/3)
 	gsC := smooth.NewGaussSeidel(kred, 1, true)
 	gsB := smooth.NewGaussSeidel(kb, 1, true)
-	nbj := smooth.NewNodeBlockJacobi(kb, 2.0/3)
+	nbj, err := smooth.NewNodeBlockJacobi(kb, 2.0/3)
+	if err != nil {
+		return nil, err
+	}
 	add("jacobi_csr_sweep", csrBytes(kred), func() { jacC.Smooth(xs, rred, 1) })
 	add("jacobi_bsr_sweep", bsrBytes(kb), func() { jacB.Smooth(xs, rred, 1) })
 	add("gauss_seidel_csr_sweep", csrBytes(kred), func() { gsC.Smooth(xs, rred, 1) })

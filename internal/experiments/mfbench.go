@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+
+	"prometheus/internal/core"
+	"prometheus/internal/fem"
+	"prometheus/internal/geom"
+	"prometheus/internal/krylov"
+	"prometheus/internal/material"
+	"prometheus/internal/mesh"
+	"prometheus/internal/multigrid"
+	"prometheus/internal/sparse"
+)
+
+// MFBenchEntry is one {size, storage} configuration of the matrix-free
+// study: the fine-level storage footprint, the fine apply cost, the
+// V-cycle cost and the FPCG iteration count under the shared Chebyshev
+// smoother.
+type MFBenchEntry struct {
+	Size            string  `json:"size"`
+	Config          string  `json:"config"`
+	FineBytes       int64   `json:"fine_bytes"`
+	FineBytesPerDof float64 `json:"fine_bytes_per_dof"`
+	ApplyNsPerOp    float64 `json:"apply_ns_per_op"`
+	ApplyMflops     float64 `json:"apply_spmv_equiv_mflops"`
+	VCycleNsPerOp   float64 `json:"vcycle_ns_per_op"`
+	Iterations      int     `json:"fpcg_iterations"`
+}
+
+// MFBenchSize carries the per-size acceptance metrics of the study: the
+// matrix-free fine level must be smaller than assembled CSR (bytes/dof
+// ratio < 1), must cost at most one extra FPCG iteration under the
+// identical smoother, and must be run-twice bitwise deterministic.
+type MFBenchSize struct {
+	Size                    string  `json:"size"`
+	Dof                     int     `json:"dof"`
+	NNZ                     int     `json:"nnz"`
+	Levels                  int     `json:"levels"`
+	BytesPerDofRatioMFvsCSR float64 `json:"bytes_per_dof_ratio_mf_vs_csr"`
+	IterDeltaMF             int     `json:"iter_delta_mf_vs_csr"`
+	MFDeterministic         bool    `json:"mf_bitwise_deterministic"`
+}
+
+// MFBenchReport is the machine-readable result of the matrix-free
+// storage-mode study (schema documented in EXPERIMENTS.md).
+type MFBenchReport struct {
+	Problem string         `json:"problem"`
+	Sizes   []MFBenchSize  `json:"sizes"`
+	Entries []MFBenchEntry `json:"entries"`
+}
+
+// mfSystem is one assembled-vs-matrix-free cube elasticity system: the
+// reduced CSR and BSR forms, the element-by-element operator over the
+// same element set, the reduced load, and the shared restriction chain.
+type mfSystem struct {
+	n    int
+	kred *sparse.CSR
+	kb   *sparse.BSR
+	op   *fem.EBEOperator
+	fred []float64
+	rs   []*sparse.CSR
+}
+
+// newMFSystem builds the n^3-hex cube (bottom face fixed, top face
+// loaded) in all three storage modes, sharing one mesh, one constraint
+// set and one geometric restriction chain so every difference in the
+// measurements comes from the storage mode alone.
+func newMFSystem(n int) (*mfSystem, error) {
+	m := mesh.StructuredHex(n, n, n, 1, 1, 1, nil)
+	p := fem.NewProblem(m, []material.Model{material.LinearElastic{E: 1, Nu: 0.3}}, false)
+	u := make([]float64, m.NumDOF())
+	k, _, err := p.AssembleTangent(u)
+	if err != nil {
+		return nil, err
+	}
+	c := fem.NewConstraints()
+	for _, v := range m.VertsWhere(func(q geom.Vec3) bool { return q.Z == 0 }) {
+		c.FixVert(v, 0, 0, 0)
+	}
+	f := make([]float64, m.NumDOF())
+	for _, v := range m.VertsWhere(func(q geom.Vec3) bool { return geom.ApproxEq(q.Z, 1, 1e-9) }) {
+		f[3*v+2] = -0.001
+	}
+	dm := c.NewDofMap(m.NumDOF())
+	kred, fred := c.Reduce(k, f, dm)
+	if !dm.NodeAligned(3) {
+		return nil, fmt.Errorf("experiments: mfbench constraints are not node-aligned")
+	}
+	kb, err := sparse.FromCSR(kred, 3)
+	if err != nil {
+		return nil, err
+	}
+	op, err := fem.NewEBEOperator(p, u, c, dm)
+	if err != nil {
+		return nil, err
+	}
+	h, err := core.Coarsen(m, core.Options{MinCoarse: 30})
+	if err != nil {
+		return nil, err
+	}
+	var rs []*sparse.CSR
+	for l := 1; l < h.NumLevels(); l++ {
+		r := h.Grids[l].R
+		if l == 1 {
+			r = multigrid.CompressCols(r, dm.Full2Red, dm.NumFree())
+		}
+		rs = append(rs, r)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("experiments: mfbench cube n=%d coarsened to a single level", n)
+	}
+	return &mfSystem{n: n, kred: kred, kb: kb, op: op, fred: fred, rs: rs}, nil
+}
+
+// mfSolve runs one preconditioned solve: a fresh multigrid over the fine
+// operator (the storage kind decides the coarse-level forms) with the
+// apply-only Chebyshev smoother every storage mode supports, then FPCG.
+func (s *mfSystem) mfSolve(a sparse.Operator, st multigrid.StorageKind) ([]float64, krylov.Result, *multigrid.MG, error) {
+	mg, err := multigrid.New(a, s.rs, multigrid.Options{Storage: st, Smoother: multigrid.Chebyshev})
+	if err != nil {
+		return nil, krylov.Result{}, nil, err
+	}
+	x := make([]float64, a.Rows())
+	res := krylov.FPCG(a, s.fred, x, mg, 1e-8, 400)
+	if !res.Converged {
+		return nil, res, nil, fmt.Errorf("experiments: mfbench FPCG did not converge in %d iterations", res.Iterations)
+	}
+	return x, res, mg, nil
+}
+
+// MFBench measures what the matrix-free element-by-element fine level
+// trades against the assembled forms on two cube sizes: storage (packed
+// symmetric element stiffnesses beat assembled CSR on bytes/dof), apply
+// throughput (the redundant element-boundary work shows up as a lower
+// SpMV-equivalent Mflop/s), and preconditioned convergence (iteration
+// parity within one under the identical Chebyshev smoother, since the
+// products differ from assembled ones only by per-row ULPs).
+func MFBench() (*MFBenchReport, error) {
+	rep := &MFBenchReport{Problem: "cube elasticity, hex8"}
+	for _, n := range []int{4, 6} {
+		sys, err := newMFSystem(n)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("cube n=%d", n)
+		dof := sys.kred.Rows()
+		nnz := sys.kred.NNZ()
+		spmvFlops := 2 * float64(nnz)
+
+		type config struct {
+			name string
+			a    sparse.Operator
+			st   multigrid.StorageKind
+		}
+		configs := []config{
+			{"csr", sys.kred, multigrid.StorageCSR},
+			{"bsr", sys.kb, multigrid.StorageBSR},
+			{"mf", sys.op, multigrid.StorageMatrixFree},
+		}
+		its := map[string]int{}
+		bytesPerDof := map[string]float64{}
+		levels := 0
+		for _, c := range configs {
+			_, res, mg, err := sys.mfSolve(c.a, c.st)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", label, c.name, err)
+			}
+			levels = len(mg.Levels)
+			fineBytes := sparse.StorageBytes(c.a)
+
+			x := make([]float64, c.a.Cols())
+			y := make([]float64, c.a.Rows())
+			for i := range x {
+				x[i] = float64(i%7) - 3
+			}
+			ares := testing.Benchmark(func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.a.MulVec(x, y)
+				}
+			})
+			z := make([]float64, c.a.Rows())
+			vres := testing.Benchmark(func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mg.Apply(sys.fred, z)
+				}
+			})
+
+			e := MFBenchEntry{
+				Size:            label,
+				Config:          c.name,
+				FineBytes:       fineBytes,
+				FineBytesPerDof: float64(fineBytes) / float64(dof),
+				ApplyNsPerOp:    float64(ares.NsPerOp()),
+				VCycleNsPerOp:   float64(vres.NsPerOp()),
+				Iterations:      res.Iterations,
+			}
+			if ares.NsPerOp() > 0 {
+				// SpMV-equivalent: useful flops are those of the assembled
+				// product, so the matrix-free mode's redundant
+				// element-boundary arithmetic honestly lowers its rate.
+				e.ApplyMflops = spmvFlops / float64(ares.NsPerOp()) * 1e3
+			}
+			rep.Entries = append(rep.Entries, e)
+			its[c.name] = res.Iterations
+			bytesPerDof[c.name] = e.FineBytesPerDof
+		}
+
+		// Run-twice determinism: a fresh hierarchy and a fresh FPCG over
+		// the matrix-free operator must reproduce every solution bit.
+		x1, r1, _, err := sys.mfSolve(sys.op, multigrid.StorageMatrixFree)
+		if err != nil {
+			return nil, err
+		}
+		x2, r2, _, err := sys.mfSolve(sys.op, multigrid.StorageMatrixFree)
+		if err != nil {
+			return nil, err
+		}
+		det := r1.Iterations == r2.Iterations
+		for i := range x1 {
+			if math.Float64bits(x1[i]) != math.Float64bits(x2[i]) {
+				det = false
+				break
+			}
+		}
+
+		rep.Sizes = append(rep.Sizes, MFBenchSize{
+			Size:                    label,
+			Dof:                     dof,
+			NNZ:                     nnz,
+			Levels:                  levels,
+			BytesPerDofRatioMFvsCSR: bytesPerDof["mf"] / bytesPerDof["csr"],
+			IterDeltaMF:             its["mf"] - its["csr"],
+			MFDeterministic:         det,
+		})
+	}
+	return rep, nil
+}
+
+// WriteMFBenchJSON writes the report as indented JSON.
+func WriteMFBenchJSON(w io.Writer, rep *MFBenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// MFBenchTable renders the report as the human-readable study.
+func MFBenchTable(w io.Writer, rep *MFBenchReport) {
+	fmt.Fprintf(w, "Matrix-free storage-mode study (%s)\n", rep.Problem)
+	fmt.Fprintf(w, "%-10s %-6s %12s %12s %14s %12s %6s\n",
+		"size", "config", "fine B/dof", "apply ns", "spmv Mflop/s", "vcycle ns", "its")
+	for _, e := range rep.Entries {
+		fmt.Fprintf(w, "%-10s %-6s %12.1f %12.0f %14.0f %12.0f %6d\n",
+			e.Size, e.Config, e.FineBytesPerDof, e.ApplyNsPerOp, e.ApplyMflops,
+			e.VCycleNsPerOp, e.Iterations)
+	}
+	for _, s := range rep.Sizes {
+		fmt.Fprintf(w, "%s: %d dof, %d levels, mf/csr fine bytes/dof %.2fx, iter delta %+d, mf deterministic %v\n",
+			s.Size, s.Dof, s.Levels, s.BytesPerDofRatioMFvsCSR, s.IterDeltaMF, s.MFDeterministic)
+	}
+}

@@ -140,7 +140,7 @@ func Run() (*Report, error) {
 	)
 
 	// Ground truth: the direct, in-process solver run.
-	direct, _, err := serve.DirectSolve(spec, 1, rtol, maxIters, cycle)
+	direct, _, err := serve.DirectSolve(spec, 1, rtol, maxIters, cycle, "", "")
 	if err != nil {
 		return nil, err
 	}

@@ -78,7 +78,13 @@
 //   - bounded-queue: service channels must have compile-time-constant
 //     capacity, and every send must be seated in a select with a
 //     default or done/ctx case, so backpressure is a 503 rather than a
-//     stuck request.
+//     stuck request;
+//   - operator-seam: type assertions and type switches on the concrete
+//     storage types (*sparse.CSR, *sparse.BSR and their f32 variants)
+//     are confined to the storage seam (internal/sparse and
+//     internal/multigrid) — everywhere else must use the sparse
+//     capability interfaces or the sanctioned TryCSR/AutoBlockOp
+//     helpers, so the matrix-free operator flows through every layer.
 //
 // A finding can be suppressed in place with a directive comment on the
 // same line or the line above:
@@ -179,6 +185,7 @@ func DefaultRules() []Rule {
 		CtxFlow{},
 		ResourceRelease{},
 		BoundedQueue{},
+		OperatorSeam{},
 	}
 }
 

@@ -452,6 +452,7 @@ func TestDefaultRulesComplete(t *testing.T) {
 		"ctx-flow":              true,
 		"resource-release":      true,
 		"bounded-queue":         true,
+		"operator-seam":         true,
 	}
 	names := make([]string, 0, len(want))
 	for _, r := range DefaultRules() {

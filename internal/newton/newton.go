@@ -132,7 +132,7 @@ func Solve(p *fem.Problem, cons *fem.Constraints, cfg Config, factory PreconFact
 				return nil, stats, fmt.Errorf("newton: preconditioner: %w", err)
 			}
 			ss.RTols = append(ss.RTols, rtol)
-			du := make([]float64, kred.NRows)
+			du := make([]float64, kred.Rows())
 			res := krylov.FPCG(kred, rred, du, pre, rtol, cfg.MaxPCG)
 			stats.LinearFlops += res.Flops
 			ss.PCGIters = append(ss.PCGIters, res.Iterations)

@@ -1,0 +1,53 @@
+package par
+
+import "prometheus/internal/check"
+
+// MFOperator is the node-granular surface a matrix-free operator exposes
+// to the distributed product: block-row applies over listed nodes plus
+// the node adjacency the halo pattern is built from. fem.EBEOperator
+// implements it; par depends only on this interface, so the communicator
+// layer stays ignorant of element storage.
+type MFOperator interface {
+	// NumNodes returns the number of block rows (nodes).
+	NumNodes() int
+	// BlockSize returns the scalars per node (3 for elasticity).
+	BlockSize() int
+	// NodeAdjacency returns, per node, the ascending list of nodes it
+	// couples to (self included) — the sparsity graph of the product.
+	NodeAdjacency() ([][]int, error)
+	// MulVecNodes computes the block rows of the listed nodes into y,
+	// reading x at the adjacent nodes' dofs, and returns the flop count.
+	MulVecNodes(x, y []float64, nodes []int) int64
+}
+
+// NewMFHalo builds the node-granular halo pattern for a matrix-free
+// operator: the same blocked exchange as NewBlockHalo (one index plus
+// BlockSize values per ghost node), with the sparsity graph supplied by
+// the operator's node adjacency instead of assembled block rows.
+func NewMFHalo(a MFOperator, nodeOwner []int, nranks int) (*Halo, error) {
+	adj, err := a.NodeAdjacency()
+	if err != nil {
+		return nil, err
+	}
+	if len(nodeOwner) != a.NumNodes() {
+		panic("par: NewMFHalo wants one owner per node")
+	}
+	return buildHalo(a.NumNodes(), func(i int) []int {
+		return adj[i]
+	}, nodeOwner, nranks, a.BlockSize()), nil
+}
+
+// MulVecMF computes y = A·x for the block rows owned by rank r, after a
+// node-granular ghost exchange, without any assembled matrix. Requires a
+// halo built by NewMFHalo for the same operator. Rows owned by other
+// ranks are left untouched in y, so a shared y across ranks is written
+// without conflicts; each owned row is the operator's own row gather, so
+// the distributed product is bitwise identical to the serial one on
+// every rank count.
+func (h *Halo) MulVecMF(r *Rank, a MFOperator, x, y []float64) {
+	if check.Enabled {
+		check.Assert(h.BS == a.BlockSize(), "par.Halo.MulVecMF: halo block size %d vs operator %d", h.BS, a.BlockSize())
+	}
+	h.Exchange(r, x)
+	r.CountFlops(a.MulVecNodes(x, y, h.Rows[r.ID()]))
+}

@@ -4,8 +4,10 @@ import "prometheus/internal/obs"
 
 // Observability events. pool.task spans one executed job on its worker's
 // rank row; pool.rows counts the rows each worker was assigned, so the
-// log view exposes partition balance directly.
+// log view exposes partition balance directly; pool.items counts the
+// items of indexed (colored-batch) dispatches the same way.
 var (
-	evPoolTask = obs.Register("pool.task")
-	evPoolRows = obs.Register("pool.rows")
+	evPoolTask  = obs.Register("pool.task")
+	evPoolRows  = obs.Register("pool.rows")
+	evPoolItems = obs.Register("pool.items")
 )

@@ -30,8 +30,11 @@ type cacheEntry struct {
 	once sync.Once
 	err  error
 
-	solver  *prometheus.Solver
-	kred    *prometheus.CSR
+	solver *prometheus.Solver
+	// kred is the reduced fine operator: an assembled matrix on the
+	// csr/bsr paths, a matrix-free element-by-element operator under
+	// storage "mf" — the solve only needs Operator either way.
+	kred    prometheus.Operator
 	fred    []float64
 	numDOF  int
 	levels  int
@@ -60,12 +63,24 @@ func (e *cacheEntry) build(g *Geometry, scale float64, opts prometheus.Options) 
 		e.err = err
 		return
 	}
-	k, f, err := g.AssembleLinear(scale)
-	if err != nil {
-		e.err = err
-		return
+	var kred prometheus.Operator
+	var fred []float64
+	if opts.MG.Storage == prometheus.StorageMatrixFree {
+		// Matrix-free mode: no fine-grid matrix is ever assembled; the
+		// cached operator applies element stiffnesses directly.
+		kred, fred, err = g.MatrixFreeLinear(solver, scale)
+		if err != nil {
+			e.err = err
+			return
+		}
+	} else {
+		k, f, err := g.AssembleLinear(scale)
+		if err != nil {
+			e.err = err
+			return
+		}
+		kred, fred = solver.ReduceSystem(k, f)
 	}
-	kred, fred := solver.ReduceSystem(k, f)
 	mg, err := solver.Preconditioner(kred)
 	if err != nil {
 		e.err = err
@@ -112,7 +127,8 @@ func (e *cacheEntry) checkinMG(mg *multigrid.MG) {
 
 // EntryInfo is the JSON view of one cache entry for /v1/cache.
 type EntryInfo struct {
-	// Key is the full cache key (fingerprint/cycle/scale-bits).
+	// Key is the full cache key
+	// (fingerprint/cycle/storage/precision/scale-bits).
 	Key string `json:"key"`
 	// Fingerprint is the mesh fingerprint component of the key.
 	Fingerprint string `json:"fingerprint"`

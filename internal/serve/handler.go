@@ -22,6 +22,13 @@ type SolveRequest struct {
 	MaxIters int `json:"max_iters"`
 	// Cycle selects the multigrid cycle: "fmg" (default), "v" or "w".
 	Cycle string `json:"cycle"`
+	// Storage selects the operator storage mode: "auto" (default — follow
+	// the assembled fine matrix), "csr", "bsr", or "mf" (matrix-free
+	// element-by-element fine operator; no fine matrix is assembled).
+	Storage string `json:"storage"`
+	// Precision selects the coarse-level value precision: "f64" (default)
+	// or "f32" (float32 Galerkin levels).
+	Precision string `json:"precision"`
 	// Stream switches the response to newline-delimited JSON: one
 	// Progress line per Krylov iteration as it happens, then the final
 	// SolveResponse line.
@@ -146,7 +153,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		failJSON(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	opts, err := solverOptions(req.RTol, req.MaxIters, req.Cycle)
+	opts, err := solverOptions(req.RTol, req.MaxIters, req.Cycle, req.Storage, req.Precision)
 	if err != nil {
 		failJSON(w, http.StatusBadRequest, err.Error())
 		return
@@ -168,7 +175,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer s.sessions.Checkin(sess)
 
 	fp := g.Fingerprint(opts.Coarsen)
-	key := cacheKey(fp, req.Cycle, req.LoadScale)
+	key := cacheKey(fp, req.Cycle, opts, req.LoadScale)
 	sess.setKey(key)
 
 	entry, hit, err := s.cache.Acquire(key, fp, g, req.LoadScale, opts)

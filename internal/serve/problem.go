@@ -10,6 +10,7 @@ import (
 
 	prometheus "prometheus"
 	"prometheus/internal/core"
+	"prometheus/internal/multigrid"
 	"prometheus/internal/problems"
 )
 
@@ -84,6 +85,19 @@ func (g *Geometry) AssembleLinear(scale float64) (*prometheus.CSR, []float64, er
 	return k, f, nil
 }
 
+// MatrixFreeLinear builds the reduced system for the "mf" storage mode:
+// an element-by-element operator at zero displacement plus the reduced,
+// scaled right-hand side — the matrix-free counterpart of AssembleLinear
+// followed by ReduceSystem, with no fine-grid matrix ever assembled.
+func (g *Geometry) MatrixFreeLinear(solver *prometheus.Solver, scale float64) (prometheus.Operator, []float64, error) {
+	p := prometheus.NewProblem(g.Mesh, g.Models, false)
+	f := make([]float64, len(g.Load))
+	for i, v := range g.Load {
+		f[i] = scale * v
+	}
+	return solver.MatrixFreeSystem(p, f)
+}
+
 // Fingerprint returns the deterministic content hash of the geometry
 // under the given coarsening options (core.Fingerprint): the part of the
 // cache key that identifies the hierarchy.
@@ -91,19 +105,52 @@ func (g *Geometry) Fingerprint(opts prometheus.CoarsenOptions) string {
 	return core.Fingerprint(g.Mesh, g.Cons.Fixed, opts)
 }
 
+// storageLabel is the canonical cache-key component for a storage mode.
+// Derived from the resolved options (not the raw request string), so two
+// spellings that configure the same solver can never produce distinct
+// keys, and two modes that cache different products can never collide.
+func storageLabel(k prometheus.StorageKind) string {
+	switch k {
+	case prometheus.StorageCSR:
+		return "csr"
+	case prometheus.StorageBSR:
+		return "bsr"
+	case prometheus.StorageMatrixFree:
+		return "mf"
+	default:
+		return "auto"
+	}
+}
+
+// precisionLabel is the canonical cache-key component for the coarse-level
+// precision mode.
+func precisionLabel(k multigrid.PrecisionKind) string {
+	if k == multigrid.PrecisionMixedF32 {
+		return "f32"
+	}
+	return "f64"
+}
+
 // cacheKey derives the full cache key: the mesh fingerprint plus the
 // solve-variant parameters that change the cached setup products (cycle
-// shapes the multigrid built from the hierarchy, the load scale bakes
-// into the cached reduced right-hand side). Float bits, not formatted
-// decimals, so distinct scales can never collide.
-func cacheKey(fp string, cycle string, scale float64) string {
-	return fp + "/" + cycle + "/" + strconv.FormatUint(math.Float64bits(scale), 16)
+// shapes the multigrid built from the hierarchy, storage and coarse
+// precision shape the cached operator hierarchy itself, the load scale
+// bakes into the cached reduced right-hand side). Float bits, not
+// formatted decimals, so distinct scales can never collide. Storage and
+// precision come from the resolved options: a "mf" entry caches an
+// element-by-element operator and a "f32" entry caches narrowed coarse
+// matrices, so sharing an entry across those modes would hand one
+// request's variant to another.
+func cacheKey(fp string, cycle string, opts prometheus.Options, scale float64) string {
+	return fp + "/" + cycle + "/" + storageLabel(opts.MG.Storage) + "/" +
+		precisionLabel(opts.MG.CoarsePrecision) + "/" +
+		strconv.FormatUint(math.Float64bits(scale), 16)
 }
 
 // solverOptions maps request-level solve parameters onto the library
 // options. The same mapping is used by the cache build and by
 // DirectSolve, so the two paths configure identical solvers.
-func solverOptions(rtol float64, maxIters int, cycle string) (prometheus.Options, error) {
+func solverOptions(rtol float64, maxIters int, cycle, storage, precision string) (prometheus.Options, error) {
 	opts := prometheus.Options{RTol: rtol, MaxIters: maxIters}
 	switch cycle {
 	case "", "fmg":
@@ -115,6 +162,26 @@ func solverOptions(rtol float64, maxIters int, cycle string) (prometheus.Options
 	default:
 		return opts, fmt.Errorf("serve: unknown cycle %q (want fmg, v or w)", cycle)
 	}
+	switch storage {
+	case "", "auto":
+		// Follow the fine operator (assembled CSR on this service).
+	case "csr":
+		opts.MG.Storage = prometheus.StorageCSR
+	case "bsr":
+		opts.MG.Storage = prometheus.StorageBSR
+	case "mf":
+		opts.MG.Storage = prometheus.StorageMatrixFree
+	default:
+		return opts, fmt.Errorf("serve: unknown storage %q (want auto, csr, bsr or mf)", storage)
+	}
+	switch precision {
+	case "", "f64":
+		// Full float64 on every level (the default).
+	case "f32":
+		opts.MG.CoarsePrecision = multigrid.PrecisionMixedF32
+	default:
+		return opts, fmt.Errorf("serve: unknown precision %q (want f64 or f32)", precision)
+	}
 	return opts, nil
 }
 
@@ -122,20 +189,27 @@ func solverOptions(rtol float64, maxIters int, cycle string) (prometheus.Options
 // service machinery: build, assemble, NewSolver, SolveLinear. It is the
 // reference the serve path is verified bitwise-identical against, and the
 // cold-path baseline of the servebench experiment.
-func DirectSolve(spec Spec, scale, rtol float64, maxIters int, cycle string) ([]float64, *prometheus.Result, error) {
+func DirectSolve(spec Spec, scale, rtol float64, maxIters int, cycle, storage, precision string) ([]float64, *prometheus.Result, error) {
 	g, err := BuildGeometry(spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	opts, err := solverOptions(rtol, maxIters, cycle)
-	if err != nil {
-		return nil, nil, err
-	}
-	k, f, err := g.AssembleLinear(scale)
+	opts, err := solverOptions(rtol, maxIters, cycle, storage, precision)
 	if err != nil {
 		return nil, nil, err
 	}
 	solver, err := prometheus.NewSolver(g.Mesh, g.Cons, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.MG.Storage == prometheus.StorageMatrixFree {
+		kred, fred, err := g.MatrixFreeLinear(solver, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		return solver.SolveReduced(kred, fred)
+	}
+	k, f, err := g.AssembleLinear(scale)
 	if err != nil {
 		return nil, nil, err
 	}

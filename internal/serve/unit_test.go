@@ -93,7 +93,7 @@ func TestCacheEvictionLRU(t *testing.T) {
 			t.Fatal(err)
 		}
 		fp := g.Fingerprint(opts.Coarsen)
-		keys[i] = cacheKey(fp, "fmg", 1)
+		keys[i] = cacheKey(fp, "fmg", opts, 1)
 		e, hit, err := c.Acquire(keys[i], fp, g, 1, opts)
 		if err != nil {
 			t.Fatalf("acquire %d: %v", i, err)
@@ -140,7 +140,7 @@ func TestCachePinnedEntryNotEvicted(t *testing.T) {
 		t.Fatal(err)
 	}
 	fp1 := g1.Fingerprint(opts.Coarsen)
-	e1, _, err := c.Acquire(cacheKey(fp1, "fmg", 1), fp1, g1, 1, opts)
+	e1, _, err := c.Acquire(cacheKey(fp1, "fmg", opts, 1), fp1, g1, 1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestCachePinnedEntryNotEvicted(t *testing.T) {
 		t.Fatal(err)
 	}
 	fp2 := g2.Fingerprint(opts.Coarsen)
-	e2, _, err := c.Acquire(cacheKey(fp2, "fmg", 1), fp2, g2, 1, opts)
+	e2, _, err := c.Acquire(cacheKey(fp2, "fmg", opts, 1), fp2, g2, 1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,15 +167,41 @@ func TestCachePinnedEntryNotEvicted(t *testing.T) {
 	}
 }
 
+// TestCacheKeyDistinguishesVariants is the cache-correctness regression
+// test for the key derivation: every request parameter that changes the
+// cached setup products — fingerprint, cycle, load scale, storage mode,
+// coarse precision — must land in the key. A shared key across storage
+// modes would hand one request a cached matrix-free operator when it
+// asked for an assembled one (or vice versa); a shared key across
+// precisions would serve float32 coarse grids to a full-precision solve.
 func TestCacheKeyDistinguishesVariants(t *testing.T) {
-	keys := map[string]bool{
-		cacheKey("fp", "fmg", 1):  true,
-		cacheKey("fp", "v", 1):    true,
-		cacheKey("fp", "fmg", 2):  true,
-		cacheKey("fp2", "fmg", 1): true,
+	mustOpts := func(storage, precision string) prometheus.Options {
+		t.Helper()
+		opts, err := solverOptions(1e-4, 100, "fmg", storage, precision)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return opts
 	}
-	if len(keys) != 4 {
+	def := mustOpts("", "")
+	keys := map[string]bool{
+		cacheKey("fp", "fmg", def, 1):                   true,
+		cacheKey("fp", "v", def, 1):                     true,
+		cacheKey("fp", "fmg", def, 2):                   true,
+		cacheKey("fp2", "fmg", def, 1):                  true,
+		cacheKey("fp", "fmg", mustOpts("csr", ""), 1):   true,
+		cacheKey("fp", "fmg", mustOpts("bsr", ""), 1):   true,
+		cacheKey("fp", "fmg", mustOpts("mf", ""), 1):    true,
+		cacheKey("fp", "fmg", mustOpts("", "f32"), 1):   true,
+		cacheKey("fp", "fmg", mustOpts("mf", "f32"), 1): true,
+	}
+	if len(keys) != 9 {
 		t.Fatalf("cache key variants collide: %v", keys)
+	}
+	// Equivalent spellings of the defaults must share a key: the label is
+	// derived from the resolved options, not the raw request strings.
+	if cacheKey("fp", "fmg", mustOpts("auto", "f64"), 1) != cacheKey("fp", "fmg", def, 1) {
+		t.Fatal("canonical default spellings produced distinct cache keys")
 	}
 }
 
@@ -187,7 +213,7 @@ func TestMGLeasePool(t *testing.T) {
 		t.Fatal(err)
 	}
 	fp := g.Fingerprint(opts.Coarsen)
-	e, _, err := c.Acquire(cacheKey(fp, "fmg", 1), fp, g, 1, opts)
+	e, _, err := c.Acquire(cacheKey(fp, "fmg", opts, 1), fp, g, 1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,12 +251,32 @@ func TestMGLeasePool(t *testing.T) {
 }
 
 func TestSolverOptionsValidation(t *testing.T) {
-	if _, err := solverOptions(1e-4, 100, "spiral"); err == nil {
+	if _, err := solverOptions(1e-4, 100, "spiral", "", ""); err == nil {
 		t.Fatal("unknown cycle accepted")
 	}
+	if _, err := solverOptions(1e-4, 100, "fmg", "ebe", ""); err == nil {
+		t.Fatal("unknown storage accepted")
+	}
+	if _, err := solverOptions(1e-4, 100, "fmg", "", "f16"); err == nil {
+		t.Fatal("unknown precision accepted")
+	}
 	for _, cyc := range []string{"", "fmg", "v", "w"} {
-		if _, err := solverOptions(1e-4, 100, cyc); err != nil {
+		if _, err := solverOptions(1e-4, 100, cyc, "", ""); err != nil {
 			t.Fatalf("cycle %q rejected: %v", cyc, err)
+		}
+	}
+	for _, st := range []string{"", "auto", "csr", "bsr", "mf"} {
+		opts, err := solverOptions(1e-4, 100, "fmg", st, "")
+		if err != nil {
+			t.Fatalf("storage %q rejected: %v", st, err)
+		}
+		if st == "mf" && opts.MG.Storage != prometheus.StorageMatrixFree {
+			t.Fatalf("storage mf mapped to %v", opts.MG.Storage)
+		}
+	}
+	for _, pr := range []string{"", "f64", "f32"} {
+		if _, err := solverOptions(1e-4, 100, "fmg", "", pr); err != nil {
+			t.Fatalf("precision %q rejected: %v", pr, err)
 		}
 	}
 }

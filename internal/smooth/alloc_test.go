@@ -82,7 +82,7 @@ func TestNodeBlockSweepsZeroAlloc(t *testing.T) {
 		name string
 		s    Smoother
 	}{
-		{"NodeBlockJacobi", NewNodeBlockJacobi(a, 2.0/3)},
+		{"NodeBlockJacobi", mustNodeBlockJacobi(t, a, 2.0/3)},
 		{"GaussSeidelNodal", NewGaussSeidel(a, 1, true)},
 		{"JacobiOnBSR", NewJacobi(a, 2.0/3)},
 	}
@@ -119,7 +119,7 @@ func TestF32SweepsZeroAlloc(t *testing.T) {
 		{"GaussSeidelCSR32", NewGaussSeidel(a32, 1, true)},
 		{"JacobiCSR32", NewJacobi(a32, 2.0/3)},
 		{"GaussSeidelBSR32", NewGaussSeidel(ab32, 1, true)},
-		{"NodeBlockJacobi32", NewNodeBlockJacobi32(ab32, 2.0/3)},
+		{"NodeBlockJacobi32", mustNodeBlockJacobi(t, ab32, 2.0/3)},
 	}
 	n := a32.Rows()
 	b := make([]float64, n)

@@ -80,15 +80,19 @@ func (s *Jacobi) Apply(r, z []float64) {
 func (s *Jacobi) Flops() int64 { return s.flops }
 
 // GaussSeidel is SOR with symmetric option: forward sweep then (if Sym)
-// backward sweep. On scalar CSR storage the sweep updates one unknown at a
-// time; on BSR storage it runs the paper's nodal variant, solving each
-// node's BxB diagonal block exactly per visit (precomputed inverses).
+// backward sweep. The ordered sweep itself is the storage's job (the
+// sparse.Sweeper capability): on scalar storage it updates one unknown at
+// a time; on blocked storage it runs the paper's nodal variant, solving
+// each node's BxB diagonal block exactly per visit (precomputed
+// inverses). Operators without the capability (matrix-free) cannot be
+// Gauss-Seidel smoothed — use Jacobi or Chebyshev there.
 type GaussSeidel struct {
 	A     sparse.Operator
 	Omega float64
 	Sym   bool
-	// Blocked path (BSR operators): inverted diagonal blocks and a
-	// node-sized scratch, both hoisted so sweeps never allocate.
+	sw    sparse.Sweeper
+	// Blocked path: inverted diagonal blocks and a node-sized scratch,
+	// both hoisted so sweeps never allocate.
 	invBlk []float64
 	sum    []float64
 	flops  int64
@@ -97,290 +101,26 @@ type GaussSeidel struct {
 // NewGaussSeidel builds an SOR smoother (omega = 1 is Gauss-Seidel).
 func NewGaussSeidel(a sparse.Operator, omega float64, sym bool) *GaussSeidel {
 	s := &GaussSeidel{A: a, Omega: omega, Sym: sym}
-	switch ab := a.(type) {
-	case *sparse.BSR:
-		s.invBlk = invertDiagBlocks(ab.DiagBlocks(), ab.B)
-		s.sum = make([]float64, ab.B)
-	case *sparse.BSR32:
-		// The stored blocks are f32 but the inverses are computed and held
-		// in f64: narrowing touches the operator, never the smoother math.
-		s.invBlk = invertDiagBlocks(ab.DiagBlocks(), ab.B)
-		s.sum = make([]float64, ab.B)
+	s.sw, _ = a.(sparse.Sweeper)
+	if bd, ok := a.(sparse.BlockDiagonaler); ok && s.sw != nil {
+		// For f32 storages the blocks arrive widened and the inverses are
+		// computed and held in f64: narrowing touches the operator, never
+		// the smoother math.
+		if blocks := bd.DiagBlocks(); blocks != nil {
+			s.invBlk = invertDiagBlocks(blocks, bd.BlockSize())
+			s.sum = make([]float64, bd.BlockSize())
+		}
 	}
 	return s
 }
 
-func (s *GaussSeidel) sweepCSR(a *sparse.CSR, x, b []float64, backward bool) {
-	n := a.NRows
-	for k := 0; k < n; k++ {
-		i := k
-		if backward {
-			i = n - 1 - k
-		}
-		sum := b[i]
-		diag := 0.0
-		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
-		cols := a.ColIdx[lo:hi]
-		vals := a.Val[lo:hi:hi]
-		vals = vals[:len(cols)] // equal lengths let the compiler drop bounds checks
-		for p, j := range cols {
-			if j == i {
-				diag = vals[p]
-				continue
-			}
-			sum -= vals[p] * x[j]
-		}
-		if diag == 0 {
-			panic(fmt.Sprintf("smooth: zero diagonal at row %d", i))
-		}
-		x[i] += s.Omega * (sum/diag - x[i])
-	}
-	s.flops += a.MulVecFlops() + 2*int64(n)
-}
-
-// sweepBSR is the node-block sweep: for each node the off-block row
-// contribution is accumulated, then the precomputed inverse of the BxB
-// diagonal block maps it to the exact block solution.
-func (s *GaussSeidel) sweepBSR(a *sparse.BSR, x, b []float64, backward bool) {
-	if a.B == 3 {
-		s.sweepBSR3(a, x, b, backward)
-		return
-	}
-	nb := a.NBRows
-	bs := a.B
-	bb := bs * bs
-	sum := s.sum
-	for k := 0; k < nb; k++ {
-		ib := k
-		if backward {
-			ib = nb - 1 - k
-		}
-		br := b[ib*bs : ib*bs+bs : ib*bs+bs]
-		for d := range sum {
-			sum[d] = br[d]
-		}
-		for p := a.RowPtr[ib]; p < a.RowPtr[ib+1]; p++ {
-			jb := a.ColIdx[p]
-			if jb == ib {
-				continue
-			}
-			v := a.Val[p*bb : (p+1)*bb : (p+1)*bb]
-			xr := x[jb*bs : jb*bs+bs : jb*bs+bs]
-			for d := 0; d < bs; d++ {
-				acc := sum[d]
-				row := v[d*bs : d*bs+bs]
-				for c, vv := range row {
-					acc -= vv * xr[c]
-				}
-				sum[d] = acc
-			}
-		}
-		inv := s.invBlk[ib*bb : (ib+1)*bb : (ib+1)*bb]
-		xr := x[ib*bs : ib*bs+bs : ib*bs+bs]
-		for d := 0; d < bs; d++ {
-			z := 0.0
-			row := inv[d*bs : d*bs+bs]
-			for c, vv := range row {
-				z += vv * sum[c]
-			}
-			xr[d] += s.Omega * (z - xr[d])
-		}
-	}
-	s.flops += a.MulVecFlops() + int64(nb)*int64(2*bb+3*bs)
-}
-
-// sweepBSR3 is the register-blocked 3x3 specialization of sweepBSR: the
-// three row accumulators live in registers across the block row, and the
-// accumulation order matches the generic kernel exactly (entries left to
-// right within each block row), so both paths produce identical iterates.
-func (s *GaussSeidel) sweepBSR3(a *sparse.BSR, x, b []float64, backward bool) {
-	nb := a.NBRows
-	for k := 0; k < nb; k++ {
-		ib := k
-		if backward {
-			ib = nb - 1 - k
-		}
-		s0, s1, s2 := b[3*ib], b[3*ib+1], b[3*ib+2]
-		p, q := a.RowPtr[ib], a.RowPtr[ib+1]
-		cols := a.ColIdx[p:q]
-		vals := a.Val[9*p : 9*q : 9*q]
-		vals = vals[:9*len(cols)]
-		for kk, jb := range cols {
-			if jb == ib {
-				continue
-			}
-			v := vals[9*kk : 9*kk+9 : 9*kk+9]
-			x0, x1, x2 := x[3*jb], x[3*jb+1], x[3*jb+2]
-			s0 -= v[0] * x0
-			s0 -= v[1] * x1
-			s0 -= v[2] * x2
-			s1 -= v[3] * x0
-			s1 -= v[4] * x1
-			s1 -= v[5] * x2
-			s2 -= v[6] * x0
-			s2 -= v[7] * x1
-			s2 -= v[8] * x2
-		}
-		inv := s.invBlk[9*ib : 9*ib+9 : 9*ib+9]
-		z0 := inv[0] * s0
-		z0 += inv[1] * s1
-		z0 += inv[2] * s2
-		z1 := inv[3] * s0
-		z1 += inv[4] * s1
-		z1 += inv[5] * s2
-		z2 := inv[6] * s0
-		z2 += inv[7] * s1
-		z2 += inv[8] * s2
-		x[3*ib] += s.Omega * (z0 - x[3*ib])
-		x[3*ib+1] += s.Omega * (z1 - x[3*ib+1])
-		x[3*ib+2] += s.Omega * (z2 - x[3*ib+2])
-	}
-	s.flops += a.MulVecFlops() + int64(nb)*int64(2*9+3*3)
-}
-
+// sweep delegates one SOR sweep to the storage's Sweeper capability,
+// accumulating the reported flops.
 func (s *GaussSeidel) sweep(x, b []float64, backward bool) {
-	switch a := s.A.(type) {
-	case *sparse.CSR:
-		s.sweepCSR(a, x, b, backward)
-	case *sparse.BSR:
-		s.sweepBSR(a, x, b, backward)
-	case *sparse.CSR32:
-		s.sweepCSR32(a, x, b, backward)
-	case *sparse.BSR32:
-		s.sweepBSR32(a, x, b, backward)
-	default:
-		panic("smooth: GaussSeidel needs row-traversable storage (CSR, BSR, CSR32 or BSR32)")
+	if s.sw == nil {
+		panic("smooth: GaussSeidel needs the SOR-sweep capability (CSR, BSR, CSR32 or BSR32)")
 	}
-}
-
-// sweepCSR32 is the f32-storage scalar sweep: the row accumulator and the
-// diagonal stay float64 (each stored value widened on use through la.W64),
-// so only the matrix representation is narrow.
-func (s *GaussSeidel) sweepCSR32(a *sparse.CSR32, x, b []float64, backward bool) {
-	n := a.NRows
-	for k := 0; k < n; k++ {
-		i := k
-		if backward {
-			i = n - 1 - k
-		}
-		sum := b[i]
-		diag := 0.0
-		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
-		cols := a.ColIdx[lo:hi]
-		vals := a.Val[lo:hi:hi]
-		vals = vals[:len(cols)] // equal lengths let the compiler drop bounds checks
-		for p, j := range cols {
-			if int(j) == i {
-				diag = la.W64(vals[p])
-				continue
-			}
-			sum -= la.W64(vals[p]) * x[j]
-		}
-		if diag == 0 {
-			panic(fmt.Sprintf("smooth: zero diagonal at row %d", i))
-		}
-		x[i] += s.Omega * (sum/diag - x[i])
-	}
-	s.flops += a.MulVecFlops() + 2*int64(n)
-}
-
-// sweepBSR32 is the f32-storage node-block sweep: off-block contributions
-// accumulate in the float64 scratch, and the block solve uses the f64
-// inverses computed at setup.
-func (s *GaussSeidel) sweepBSR32(a *sparse.BSR32, x, b []float64, backward bool) {
-	if a.B == 3 {
-		s.sweepBSR32three(a, x, b, backward)
-		return
-	}
-	nb := a.NBRows
-	bs := a.B
-	bb := bs * bs
-	sum := s.sum
-	for k := 0; k < nb; k++ {
-		ib := k
-		if backward {
-			ib = nb - 1 - k
-		}
-		br := b[ib*bs : ib*bs+bs : ib*bs+bs]
-		for d := range sum {
-			sum[d] = br[d]
-		}
-		for p := a.RowPtr[ib]; p < a.RowPtr[ib+1]; p++ {
-			jb := int(a.ColIdx[p])
-			if jb == ib {
-				continue
-			}
-			v := a.Val[p*bb : (p+1)*bb : (p+1)*bb]
-			xr := x[jb*bs : jb*bs+bs : jb*bs+bs]
-			for d := 0; d < bs; d++ {
-				acc := sum[d]
-				row := v[d*bs : d*bs+bs]
-				for c, vv := range row {
-					acc -= la.W64(vv) * xr[c]
-				}
-				sum[d] = acc
-			}
-		}
-		inv := s.invBlk[ib*bb : (ib+1)*bb : (ib+1)*bb]
-		xr := x[ib*bs : ib*bs+bs : ib*bs+bs]
-		for d := 0; d < bs; d++ {
-			z := 0.0
-			row := inv[d*bs : d*bs+bs]
-			for c, vv := range row {
-				z += vv * sum[c]
-			}
-			xr[d] += s.Omega * (z - xr[d])
-		}
-	}
-	s.flops += a.MulVecFlops() + int64(nb)*int64(2*bb+3*bs)
-}
-
-// sweepBSR32three is the register-blocked 3x3 specialization of
-// sweepBSR32, mirroring sweepBSR3 with widened operands and float64
-// accumulators.
-func (s *GaussSeidel) sweepBSR32three(a *sparse.BSR32, x, b []float64, backward bool) {
-	nb := a.NBRows
-	for k := 0; k < nb; k++ {
-		ib := k
-		if backward {
-			ib = nb - 1 - k
-		}
-		s0, s1, s2 := b[3*ib], b[3*ib+1], b[3*ib+2]
-		p, q := a.RowPtr[ib], a.RowPtr[ib+1]
-		cols := a.ColIdx[p:q]
-		vals := a.Val[9*p : 9*q : 9*q]
-		vals = vals[:9*len(cols)]
-		for kk, jb := range cols {
-			if int(jb) == ib {
-				continue
-			}
-			v := vals[9*kk : 9*kk+9 : 9*kk+9]
-			x0, x1, x2 := x[3*jb], x[3*jb+1], x[3*jb+2]
-			s0 -= la.W64(v[0]) * x0
-			s0 -= la.W64(v[1]) * x1
-			s0 -= la.W64(v[2]) * x2
-			s1 -= la.W64(v[3]) * x0
-			s1 -= la.W64(v[4]) * x1
-			s1 -= la.W64(v[5]) * x2
-			s2 -= la.W64(v[6]) * x0
-			s2 -= la.W64(v[7]) * x1
-			s2 -= la.W64(v[8]) * x2
-		}
-		inv := s.invBlk[9*ib : 9*ib+9 : 9*ib+9]
-		z0 := inv[0] * s0
-		z0 += inv[1] * s1
-		z0 += inv[2] * s2
-		z1 := inv[3] * s0
-		z1 += inv[4] * s1
-		z1 += inv[5] * s2
-		z2 := inv[6] * s0
-		z2 += inv[7] * s1
-		z2 += inv[8] * s2
-		x[3*ib] += s.Omega * (z0 - x[3*ib])
-		x[3*ib+1] += s.Omega * (z1 - x[3*ib+1])
-		x[3*ib+2] += s.Omega * (z2 - x[3*ib+2])
-	}
-	s.flops += a.MulVecFlops() + int64(nb)*int64(2*9+3*3)
+	s.flops += s.sw.SORSweep(x, b, s.Omega, backward, s.invBlk, s.sum)
 }
 
 // Smooth implements Smoother.
@@ -717,31 +457,31 @@ type NodeBlockJacobi struct {
 	flops  int64
 }
 
-// NewNodeBlockJacobi inverts the nodal diagonal blocks of a. omega damps
-// the update exactly as in scalar Jacobi (2/3 is customary in multigrid).
-func NewNodeBlockJacobi(a *sparse.BSR, omega float64) *NodeBlockJacobi {
+// NewNodeBlockJacobi inverts the nodal diagonal blocks of an operator
+// with the sparse.BlockDiagonaler capability (BSR, BSR32, or the
+// matrix-free element operator when node-aligned). omega damps the update
+// exactly as in scalar Jacobi (2/3 is customary in multigrid). For f32
+// storages the diagonal blocks arrive widened to float64 before
+// inversion, so the smoother's update math is identical to the f64
+// variant applied to the narrowed operator.
+func NewNodeBlockJacobi(a sparse.Operator, omega float64) (*NodeBlockJacobi, error) {
+	bd, ok := a.(sparse.BlockDiagonaler)
+	if !ok {
+		return nil, fmt.Errorf("smooth: NodeBlockJacobi needs the node-block diagonal capability")
+	}
+	blocks := bd.DiagBlocks()
+	if blocks == nil {
+		return nil, fmt.Errorf("smooth: NodeBlockJacobi: operator is not node-aligned")
+	}
+	bs := bd.BlockSize()
 	return &NodeBlockJacobi{
 		A:     a,
 		Omega: omega,
-		bs:    a.B,
-		nb:    a.NBRows,
-		invD:  invertDiagBlocks(a.DiagBlocks(), a.B),
+		bs:    bs,
+		nb:    a.Rows() / bs,
+		invD:  invertDiagBlocks(blocks, bs),
 		work:  make([]float64, a.Rows()),
-	}
-}
-
-// NewNodeBlockJacobi32 is the f32-storage constructor: the diagonal blocks
-// are widened to float64 before inversion, so the smoother's update math
-// is identical to the f64 variant applied to the narrowed operator.
-func NewNodeBlockJacobi32(a *sparse.BSR32, omega float64) *NodeBlockJacobi {
-	return &NodeBlockJacobi{
-		A:     a,
-		Omega: omega,
-		bs:    a.B,
-		nb:    a.NBRows,
-		invD:  invertDiagBlocks(a.DiagBlocks(), a.B),
-		work:  make([]float64, a.Rows()),
-	}
+	}, nil
 }
 
 // Smooth implements Smoother.

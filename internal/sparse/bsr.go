@@ -40,6 +40,10 @@ func (a *BSR) NNZ() int { return len(a.ColIdx) * a.B * a.B }
 // NNZBlocks returns the number of stored blocks.
 func (a *BSR) NNZBlocks() int { return len(a.ColIdx) }
 
+// BlockSize returns the scalar block dimension (the BlockDiagonaler
+// capability).
+func (a *BSR) BlockSize() int { return a.B }
+
 // MulVecFlops returns the flop count of one MulVec (2·nnz).
 func (a *BSR) MulVecFlops() int64 { return 2 * int64(a.NNZ()) }
 

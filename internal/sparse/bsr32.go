@@ -37,6 +37,10 @@ func (a *BSR32) NNZ() int { return len(a.ColIdx) * a.B * a.B }
 // NNZBlocks returns the number of stored blocks.
 func (a *BSR32) NNZBlocks() int { return len(a.ColIdx) }
 
+// BlockSize returns the scalar block dimension (the BlockDiagonaler
+// capability).
+func (a *BSR32) BlockSize() int { return a.B }
+
 // MulVecFlops returns the flop count of one MulVec (2·nnz).
 func (a *BSR32) MulVecFlops() int64 { return 2 * int64(a.NNZ()) }
 

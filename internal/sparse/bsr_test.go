@@ -261,7 +261,10 @@ func TestGalerkinBSRMatchesScalar(t *testing.T) {
 	}
 	nb.Add(0, 1, 0.5)
 	rNon := nb.Build()
-	coarse2 := GalerkinBSR(rNon, a)
+	coarse2, ok := GalerkinBSR(rNon, a).(interface{ At(i, j int) float64 })
+	if !ok {
+		t.Fatal("non-conforming fallback returned an operator without At")
+	}
 	want2 := Galerkin(rNon, a.ToCSR())
 	for i := 0; i < want2.NRows; i++ {
 		for j := 0; j < want2.NCols; j++ {

@@ -50,8 +50,17 @@ type (
 	// per-processor Mflop rate.
 	BSR = sparse.BSR
 	// Operator is the storage-agnostic sparse operator interface the
-	// solver stack is written against; CSR and BSR both implement it.
+	// solver stack is written against; CSR, BSR and the matrix-free
+	// EBEOperator all implement it.
 	Operator = sparse.Operator
+	// EBEOperator is the matrix-free element-by-element fine operator:
+	// per-element stiffnesses applied gather/scatter with no assembled
+	// fine-grid matrix (fem.EBEOperator). Build one with
+	// Solver.MatrixFreeSystem.
+	EBEOperator = fem.EBEOperator
+	// StorageKind selects the per-level operator storage of the multigrid
+	// hierarchy (multigrid.StorageKind); set it on MGOptions.Storage.
+	StorageKind = multigrid.StorageKind
 	// CoarsenOptions controls the MIS coarsening (core.Options).
 	CoarsenOptions = core.Options
 	// MGOptions controls the multigrid cycle (multigrid.Options).
@@ -76,6 +85,15 @@ const (
 	FMG    = multigrid.FMG
 	VCycle = multigrid.VCycle
 	WCycle = multigrid.WCycle
+)
+
+// Storage modes for MGOptions.Storage: assembled scalar rows, assembled
+// 3x3 node blocks, or the matrix-free element-by-element fine level.
+const (
+	StorageAuto       = multigrid.StorageAuto
+	StorageCSR        = multigrid.StorageCSR
+	StorageBSR        = multigrid.StorageBSR
+	StorageMatrixFree = multigrid.StorageMatrixFree
 )
 
 // NewStructuredHexMesh builds an nx×ny×nz hexahedral mesh of a box; matFn
@@ -223,16 +241,19 @@ type Result struct {
 // before building the hierarchy; Options.MG.Storage overrides the choice.
 func (s *Solver) Preconditioner(kred Operator) (*multigrid.MG, error) {
 	if s.Opts.Hierarchy == SmoothedAggregation && s.rs == nil {
+		kc, ok := sparse.TryCSR(kred)
+		if !ok {
+			return nil, fmt.Errorf("prometheus: aggregation setup needs an assembled fine matrix, not a matrix-free operator")
+		}
 		b := aggregation.RigidBodyModes(s.Mesh.Coords, s.dofMap.Full2Red, s.dofMap.NumFree())
-		rs, err := aggregation.BuildRestrictions(sparse.AsCSR(kred), b, aggregation.Options{})
+		rs, err := aggregation.BuildRestrictions(kc, b, aggregation.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("prometheus: aggregation setup: %w", err)
 		}
 		s.rs = rs
 	}
-	if kc, ok := kred.(*sparse.CSR); ok &&
-		s.Opts.Hierarchy == GeometricMIS && s.dofMap.NodeAligned(3) {
-		kred = sparse.AutoBlock(kc, 3)
+	if s.Opts.Hierarchy == GeometricMIS && s.dofMap.NodeAligned(3) {
+		kred = sparse.AutoBlockOp(kred, 3)
 	}
 	return multigrid.New(kred, s.rs, s.Opts.MG)
 }
@@ -264,17 +285,39 @@ func (s *Solver) Fingerprint() string {
 	return core.Fingerprint(s.Mesh, s.cons.Fixed, s.Opts.Coarsen)
 }
 
-// SolveLinear solves K·u = f where K and f are assembled on the full dof
-// numbering of the mesh and the solver's constraints prescribe u on the
-// Dirichlet set. The returned u is full-length with the prescribed values
-// in place.
-func (s *Solver) SolveLinear(k *CSR, f []float64) ([]float64, *Result, error) {
-	kred, fred := s.cons.Reduce(k, f, s.dofMap)
+// MatrixFreeSystem builds the reduced linear system in matrix-free form:
+// an element-by-element operator over the free dofs (no assembled
+// fine-grid matrix anywhere) plus the reduced right-hand side — the
+// storage-mode-"mf" counterpart of assembling a stiffness and calling
+// ReduceSystem. Pair the returned operator with
+// Options.MG.Storage = StorageMatrixFree so the hierarchy
+// Galerkin-assembles its first coarse level directly from the element
+// stiffnesses.
+func (s *Solver) MatrixFreeSystem(p *Problem, f []float64) (Operator, []float64, error) {
+	u := make([]float64, s.Mesh.NumDOF())
+	op, err := fem.NewEBEOperator(p, u, s.cons, s.dofMap)
+	if err != nil {
+		return nil, nil, fmt.Errorf("prometheus: matrix-free setup: %w", err)
+	}
+	fred := s.dofMap.RestrictVec(f)
+	cf := op.ConstraintForce()
+	for i := range fred {
+		fred[i] -= cf[i]
+	}
+	return op, fred, nil
+}
+
+// SolveReduced solves the already-reduced system kred·x = fred with the
+// multigrid-preconditioned FPCG and returns the full-length displacement
+// with the prescribed values in place — the storage-agnostic core of
+// SolveLinear, and the solve entry point for matrix-free systems built
+// with MatrixFreeSystem.
+func (s *Solver) SolveReduced(kred Operator, fred []float64) ([]float64, *Result, error) {
 	mg, err := s.Preconditioner(kred)
 	if err != nil {
 		return nil, nil, fmt.Errorf("prometheus: matrix setup: %w", err)
 	}
-	x := make([]float64, kred.NRows)
+	x := make([]float64, kred.Rows())
 	res := krylov.FPCG(kred, fred, x, mg, s.Opts.RTol, s.Opts.MaxIters)
 	u := make([]float64, s.Mesh.NumDOF())
 	s.cons.Expand(x, s.dofMap, u)
@@ -291,6 +334,15 @@ func (s *Solver) SolveLinear(k *CSR, f []float64) ([]float64, *Result, error) {
 			s.Opts.RTol, res.Iterations)
 	}
 	return u, out, nil
+}
+
+// SolveLinear solves K·u = f where K and f are assembled on the full dof
+// numbering of the mesh and the solver's constraints prescribe u on the
+// Dirichlet set. The returned u is full-length with the prescribed values
+// in place.
+func (s *Solver) SolveLinear(k *CSR, f []float64) ([]float64, *Result, error) {
+	kred, fred := s.cons.Reduce(k, f, s.dofMap)
+	return s.SolveReduced(kred, fred)
 }
 
 // SolveNonlinear runs the paper's Newton strategy on a problem assembled
