@@ -10,14 +10,16 @@
 //
 // Experiments: table1, table2, fig7, fig9, fig10, fig11, fig12, fig13,
 // thinbody, ordering, parmis, amg, phases, headline, ablations,
-// blockbench, obsbench, parbench, mixedbench, mfbench, servebench, all.
+// blockbench, obsbench, parbench, mixedbench, mfbench, servebench,
+// serveobs, all.
 // -csv additionally writes the scaled series as CSV for plotting.
 // -json writes a kernel study as JSON to the given path: the obsbench
 // observability report when -exp obsbench, the parbench real-core
 // speedup study when -exp parbench, the mixedbench mixed-precision
 // coarse-level study when -exp mixedbench, the mfbench matrix-free
 // storage-mode study when -exp mfbench, the servebench
-// solver-as-a-service study when -exp servebench, otherwise the
+// solver-as-a-service study when -exp servebench, the request-scoped
+// observability overhead study when -exp serveobs, otherwise the
 // blockbench CSR-vs-BSR study (schemas in EXPERIMENTS.md).
 // -obs enables the observability subsystem for the whole run and prints
 // the -log_view-style event table after the experiments finish.
@@ -63,6 +65,7 @@ func main() {
 	var mixedRep *experiments.MixedBenchReport
 	var mfRep *experiments.MFBenchReport
 	var serveRep *servebench.Report
+	var serveObsRep *servebench.ObsReport
 	needSeries := func() error {
 		if runs != nil {
 			return nil
@@ -165,6 +168,14 @@ func main() {
 			serveRep = rep
 			servebench.Table(w, rep)
 			return nil
+		case "serveobs":
+			rep, err := servebench.RunObs()
+			if err != nil {
+				return err
+			}
+			serveObsRep = rep
+			servebench.ObsTable(w, rep)
+			return nil
 		case "ablations":
 			if err := experiments.AblationTOL(w); err != nil {
 				return err
@@ -191,9 +202,9 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table1", "fig9", "fig7", "table2", "fig10", "fig11",
-			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench", "obsbench", "parbench", "mixedbench", "mfbench", "servebench"}
+			"fig12", "headline", "fig13", "thinbody", "ordering", "parmis", "amg", "phases", "ablations", "blockbench", "obsbench", "parbench", "mixedbench", "mfbench", "servebench", "serveobs"}
 	}
-	if *jsonPath != "" && *exp != "blockbench" && *exp != "obsbench" && *exp != "parbench" && *exp != "mixedbench" && *exp != "mfbench" && *exp != "servebench" && *exp != "all" {
+	if *jsonPath != "" && *exp != "blockbench" && *exp != "obsbench" && *exp != "parbench" && *exp != "mixedbench" && *exp != "mfbench" && *exp != "servebench" && *exp != "serveobs" && *exp != "all" {
 		names = append(names, "blockbench")
 	}
 	for i, name := range names {
@@ -242,6 +253,8 @@ func main() {
 			err = experiments.WriteMFBenchJSON(f, mfRep)
 		case *exp == "servebench":
 			err = servebench.WriteJSON(f, serveRep)
+		case *exp == "serveobs":
+			err = servebench.WriteObsJSON(f, serveObsRep)
 		default:
 			err = experiments.WriteBlockBenchJSON(f, blockRep)
 		}

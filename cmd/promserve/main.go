@@ -9,15 +9,22 @@
 // Usage:
 //
 //	promserve [-addr :8080] [-max-concurrent n] [-cache-entries n] [-obs]
+//	          [-log text|json] [-log-level info]
 //
 // Endpoints (one server, one port):
 //
 //	POST /v1/solve     solve {"problem","size","rtol","cycle","stream",...}
 //	GET  /v1/sessions  solves in flight
-//	GET  /v1/cache     hierarchy cache contents + hit/miss totals
+//	GET  /v1/sessions/{id}/trace   per-request Chrome trace JSON
+//	GET  /v1/cache     hierarchy cache contents + hit/miss/eviction totals
+//	GET  /metrics      Prometheus text exposition (0.0.4) of the obs registry
 //	GET  /healthz      liveness + watchdog status (promdebug builds)
 //	GET  /debug/vars   expvar, including the obs profile (prometheus_obs)
 //	GET  /debug/pprof  runtime profiling
+//
+// Every request is traced: a valid inbound W3C traceparent header's
+// trace id is adopted, otherwise one is minted; the response echoes a
+// traceparent, and every log line for the request carries its trace_id.
 //
 // The process shuts down cleanly on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight solves drain (bounded by -drain), and the service
@@ -28,7 +35,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,13 +46,43 @@ import (
 	"prometheus/internal/serve"
 )
 
+// newLogger builds the process logger: text or JSON records on stderr at
+// the requested level, wrapped so records carry the request trace id
+// whenever one is in the context.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, err
+	}
+	ho := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, ho)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, ho)
+	default:
+		return nil, errors.New("promserve: -log must be text or json")
+	}
+	return slog.New(serve.NewTraceHandler(h)), nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxConc := flag.Int("max-concurrent", 4, "max concurrently admitted solves")
 	cacheEntries := flag.Int("cache-entries", 8, "max cached hierarchies")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight solves")
 	withObs := flag.Bool("obs", true, "record obs events/metrics (published on /debug/vars)")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
+
+	log, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		slog.LogAttrs(context.Background(), slog.LevelError, "bad logging flags", slog.Any("err", err))
+		os.Exit(2)
+	}
+	slog.SetDefault(log)
 
 	if *withObs {
 		obs.EnableWith(obs.Config{RingCap: 1 << 17})
@@ -57,6 +94,7 @@ func main() {
 	svc := serve.New(serve.Config{
 		MaxConcurrent:   *maxConc,
 		MaxCacheEntries: *cacheEntries,
+		Log:             log,
 	})
 	defer svc.Close()
 
@@ -69,15 +107,19 @@ func main() {
 		dctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(dctx); err != nil {
-			fmt.Fprintf(os.Stderr, "promserve: shutdown: %v\n", err)
+			log.LogAttrs(context.Background(), slog.LevelError, "shutdown", slog.Any("err", err))
 		}
 	}()
 
-	fmt.Printf("promserve listening on %s (max-concurrent %d, cache %d entries)\n",
-		*addr, *maxConc, *cacheEntries)
+	log.LogAttrs(ctx, slog.LevelInfo, "listening",
+		slog.String("addr", *addr),
+		slog.Int("max_concurrent", *maxConc),
+		slog.Int("cache_entries", *cacheEntries),
+		slog.Bool("obs", *withObs),
+	)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "promserve: %v\n", err)
+		log.LogAttrs(context.Background(), slog.LevelError, "serve failed", slog.Any("err", err))
 		os.Exit(1)
 	}
-	fmt.Println("promserve: drained, exiting")
+	log.LogAttrs(context.Background(), slog.LevelInfo, "drained, exiting")
 }

@@ -1,0 +1,258 @@
+// Obs-overhead study: what request-scoped observability costs on the
+// warm serve path, and whether its three contracts hold end-to-end —
+// bitwise-identical numerics with recording on, per-request attribution
+// summing exactly to the global profile, and a /metrics exposition that
+// parses as Prometheus text format.
+package servebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"prometheus/internal/obs"
+	"prometheus/internal/serve"
+)
+
+// ObsReport is the obs-overhead study document (BENCH_PR10.json).
+type ObsReport struct {
+	Problem string `json:"problem"`
+	Size    int    `json:"size"`
+	NumDOF  int    `json:"num_dof"`
+	// Batches and RequestsPerBatch describe the alternating off/on
+	// measurement: each batch runs RequestsPerBatch warm solves with
+	// recording off, then the same number with recording on.
+	Batches          int `json:"batches"`
+	RequestsPerBatch int `json:"requests_per_batch"`
+	// OffMeanNsBest and OnMeanNsBest are the best (minimum) per-batch
+	// mean warm latencies — min-of-means discards scheduler noise that
+	// a grand mean would fold into the ratio.
+	OffMeanNsBest int64 `json:"off_mean_ns_best"`
+	OnMeanNsBest  int64 `json:"on_mean_ns_best"`
+	// OverheadRatio is OnMeanNsBest / OffMeanNsBest; the CI gate holds
+	// it under 1.05 (<5% overhead with full tracing on).
+	OverheadRatio float64 `json:"overhead_ratio"`
+	// BitwiseIdentical is true iff every solution hash — obs off and
+	// obs on alike — equals the direct in-process solver run's.
+	BitwiseIdentical bool `json:"bitwise_identical"`
+	// TaskAttributionConsistent is true iff two concurrent solves'
+	// per-request flop attributions are each positive and sum exactly
+	// to the global profile's totals over the task-credited events.
+	TaskAttributionConsistent bool `json:"task_attribution_consistent"`
+	// TaskFlopsA/B are those two attributions, for the record.
+	TaskFlopsA int64 `json:"task_flops_a"`
+	TaskFlopsB int64 `json:"task_flops_b"`
+	// MetricsExpositionValid is true iff every non-comment /metrics
+	// line matches the Prometheus text sample grammar.
+	MetricsExpositionValid bool `json:"metrics_exposition_valid"`
+	// MetricsSeries counts the exposed sample lines.
+	MetricsSeries int `json:"metrics_series"`
+	// TraceEvents counts the events in one request's Chrome-trace
+	// export from /v1/sessions/{id}/trace.
+	TraceEvents int `json:"trace_events"`
+}
+
+// obsSampleLine matches one Prometheus text-format sample.
+var obsSampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+Inf|-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$`)
+
+// obsTaskEvent mirrors the task-crediting span sites (see the serve
+// TestTaskAttribution): krylov solve, V-cycle apply, smoother sweeps.
+func obsTaskEvent(name string) bool {
+	return name == "krylov.fpcg" || name == "mg.apply" || strings.HasPrefix(name, "smooth.")
+}
+
+// RunObs runs the obs-overhead study against an in-process promserve
+// instance. It toggles the global obs recorder; the caller should not
+// depend on the recorder state afterwards (it is left disabled).
+func RunObs() (*ObsReport, error) {
+	// Size 2 keeps the fixed per-span recording cost small relative to
+	// the numerical work, which is what a production request looks like;
+	// size 1 solves are so short that tracing density dominates.
+	spec := serve.Spec{Problem: "cube", Size: 2}
+	const (
+		batches  = 6
+		perBatch = 12
+	)
+
+	direct, _, err := serve.DirectSolve(spec, 1, 1e-4, 1000, "fmg", "", "")
+	if err != nil {
+		return nil, err
+	}
+	directHash := serve.SolutionHash(direct)
+
+	obs.Disable()
+	// The study times the serve path, not stderr: drop request logs.
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	svc := serve.New(serve.Config{MaxConcurrent: 4, Log: quiet})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	rep := &ObsReport{
+		Problem: spec.Problem, Size: spec.Size,
+		Batches: batches, RequestsPerBatch: perBatch,
+		BitwiseIdentical: true,
+	}
+	req := serve.SolveRequest{Spec: spec, Wait: true}
+
+	solve := func() (serve.SolveResponse, error) {
+		r, status, err := postSolve(ts.URL, req)
+		if err != nil {
+			return r, err
+		}
+		if status != http.StatusOK {
+			return r, fmt.Errorf("servebench: obs study solve status %d", status)
+		}
+		if r.SolutionHash != directHash {
+			rep.BitwiseIdentical = false
+		}
+		return r, nil
+	}
+
+	// Prewarm: build the cache entry and its pooled MG before anything
+	// is timed or attributed.
+	cold, err := solve()
+	if err != nil {
+		return nil, err
+	}
+	rep.NumDOF = cold.NumDOF
+
+	// Alternating off/on batches; keep the best per-mode batch mean.
+	batchMean := func() (int64, error) {
+		var total int64
+		for i := 0; i < perBatch; i++ {
+			t0 := time.Now()
+			if _, err := solve(); err != nil {
+				return 0, err
+			}
+			total += time.Since(t0).Nanoseconds()
+		}
+		return total / perBatch, nil
+	}
+	for b := 0; b < batches; b++ {
+		obs.Disable()
+		off, err := batchMean()
+		if err != nil {
+			return nil, err
+		}
+		if rep.OffMeanNsBest == 0 || off < rep.OffMeanNsBest {
+			rep.OffMeanNsBest = off
+		}
+		obs.EnableWith(obs.Config{RingCap: 1 << 15})
+		on, err := batchMean()
+		if err != nil {
+			return nil, err
+		}
+		if rep.OnMeanNsBest == 0 || on < rep.OnMeanNsBest {
+			rep.OnMeanNsBest = on
+		}
+	}
+	if rep.OffMeanNsBest > 0 {
+		rep.OverheadRatio = float64(rep.OnMeanNsBest) / float64(rep.OffMeanNsBest)
+	}
+
+	// Attribution identity: two concurrent solves in a fresh recording
+	// window; their task flops must be positive and sum to the global
+	// task-event flops (nothing else runs in the window).
+	obs.EnableWith(obs.Config{RingCap: 1 << 15})
+	var wg sync.WaitGroup
+	resps := make([]serve.SolveResponse, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = solve()
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	snap := obs.Snapshot()
+	var globalFlops int64
+	for _, e := range snap.Events {
+		if obsTaskEvent(e.Name) {
+			globalFlops += e.Totals().Flops
+		}
+	}
+	rep.TaskFlopsA = resps[0].TaskFlops
+	rep.TaskFlopsB = resps[1].TaskFlops
+	rep.TaskAttributionConsistent = rep.TaskFlopsA > 0 && rep.TaskFlopsB > 0 &&
+		rep.TaskFlopsA+rep.TaskFlopsB == globalFlops
+
+	// Exposition validity: every /metrics sample line must parse.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	if cerr := mresp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.MetricsExpositionValid = true
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !obsSampleLine.MatchString(line) {
+			rep.MetricsExpositionValid = false
+			break
+		}
+		rep.MetricsSeries++
+	}
+
+	// Trace export: the last concurrent solve's session must serve a
+	// non-empty Chrome trace.
+	tresp, err := http.Get(fmt.Sprintf("%s/v1/sessions/%d/trace", ts.URL, resps[1].Session))
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	derr := json.NewDecoder(tresp.Body).Decode(&doc)
+	if cerr := tresp.Body.Close(); derr == nil {
+		derr = cerr
+	}
+	if derr != nil {
+		return nil, derr
+	}
+	rep.TraceEvents = len(doc.TraceEvents)
+
+	obs.Disable()
+	return rep, nil
+}
+
+// WriteObsJSON writes the obs study report as indented JSON.
+func WriteObsJSON(w io.Writer, rep *ObsReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ObsTable renders the obs study as the human-readable table.
+func ObsTable(w io.Writer, rep *ObsReport) {
+	fmt.Fprintf(w, "Request-scoped observability study (%s size %d, %d dof)\n",
+		rep.Problem, rep.Size, rep.NumDOF)
+	fmt.Fprintf(w, "warm solve, obs off %.3f ms vs obs on %.3f ms -> overhead %.2f%% (best of %d batches x %d requests)\n",
+		float64(rep.OffMeanNsBest)/1e6, float64(rep.OnMeanNsBest)/1e6,
+		(rep.OverheadRatio-1)*100, rep.Batches, rep.RequestsPerBatch)
+	fmt.Fprintf(w, "bitwise identical with recording on: %v\n", rep.BitwiseIdentical)
+	fmt.Fprintf(w, "per-request attribution sums to global profile: %v (A=%d, B=%d flops)\n",
+		rep.TaskAttributionConsistent, rep.TaskFlopsA, rep.TaskFlopsB)
+	fmt.Fprintf(w, "/metrics: %d series, exposition valid: %v\n", rep.MetricsSeries, rep.MetricsExpositionValid)
+	fmt.Fprintf(w, "per-request trace export: %d events\n", rep.TraceEvents)
+}

@@ -7,6 +7,7 @@
 package krylov
 
 import (
+	"context"
 	"math"
 
 	"prometheus/internal/la"
@@ -135,10 +136,35 @@ func FPCG(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, max
 // same order, so results are bitwise identical with or without a monitor
 // (a monitor only observes norms and may cut the iteration short).
 func FPCGMonitored(a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int, mon Monitor) Result {
-	sp := obs.Start(evFPCG)
+	return fpcgTask(nil, a, b, x, m, rtol, maxIter, mon)
+}
+
+// FPCGCtx is FPCG with request-scoped observability: the obs task
+// carried by ctx (if any) is credited with the solve's outer-iteration
+// flops and iteration count, in addition to the process-global stats.
+// The task only observes — the iteration is bitwise identical to FPCG.
+func FPCGCtx(ctx context.Context, a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int) Result {
+	return fpcgTask(obs.FromContext(ctx), a, b, x, m, rtol, maxIter, nil)
+}
+
+// FPCGMonitoredCtx is FPCGMonitored with request-scoped observability
+// (see FPCGCtx).
+func FPCGMonitoredCtx(ctx context.Context, a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int, mon Monitor) Result {
+	return fpcgTask(obs.FromContext(ctx), a, b, x, m, rtol, maxIter, mon)
+}
+
+// fpcgTask runs the flexible PCG iteration under one obs span,
+// crediting the outer-iteration work to both the global evFPCG stats
+// and, when non-nil, the request task. The span's flop credit covers
+// fpcg's own work (matrix-vector products and vector ops), not the
+// preconditioner applications — those record under their own events,
+// so per-event totals never double count.
+func fpcgTask(t *obs.Task, a sparse.Operator, b, x []float64, m Preconditioner, rtol float64, maxIter int, mon Monitor) Result {
+	sp := obs.StartTask(evFPCG, t)
 	res := fpcg(a, b, x, m, rtol, maxIter, mon)
 	sp.EndFlops(res.Flops)
 	cIterations.Add(int64(res.Iterations))
+	t.AddIterations(int64(res.Iterations))
 	return res
 }
 

@@ -75,6 +75,9 @@
 //     released on all paths — deferred, or with no return between
 //     acquire and release outside the acquire's own error guard
 //     (generalizes obs-discipline's Start/End pairing);
+//   - log-discipline: service-package logging is structured and
+//     request-scoped — no fmt/log prints, no context-free slog calls,
+//     and slog attribute keys are compile-time string constants;
 //   - bounded-queue: service channels must have compile-time-constant
 //     capacity, and every send must be seated in a select with a
 //     default or done/ctx case, so backpressure is a 503 rather than a
@@ -183,6 +186,7 @@ func DefaultRules() []Rule {
 		},
 		GoroutineLifecycle{},
 		CtxFlow{},
+		LogDiscipline{},
 		ResourceRelease{},
 		BoundedQueue{},
 		OperatorSeam{},

@@ -42,11 +42,17 @@ func fakeFmt() *types.Package {
 // packages, falling back to the default importer.
 type fixtureImporter struct{ pkgs map[string]*types.Package }
 
+// stdImporter is shared across all fixture type-checks so stdlib
+// packages resolve to one *types.Package each (two importer instances
+// would otherwise yield e.g. two distinct "context" packages, breaking
+// cross-package assignability in fixtures).
+var stdImporter = importer.Default()
+
 func (fi fixtureImporter) Import(path string) (*types.Package, error) {
 	if p, ok := fi.pkgs[path]; ok {
 		return p, nil
 	}
-	return importer.Default().Import(path)
+	return stdImporter.Import(path)
 }
 
 // fixtureDep is one source-level dependency package of a fixture,
@@ -450,6 +456,7 @@ func TestDefaultRulesComplete(t *testing.T) {
 		"krylov-precision":      true,
 		"goroutine-lifecycle":   true,
 		"ctx-flow":              true,
+		"log-discipline":        true,
 		"resource-release":      true,
 		"bounded-queue":         true,
 		"operator-seam":         true,

@@ -1,0 +1,75 @@
+package lint
+
+import "testing"
+
+func TestLogDisciplineViolations(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"log/slog"
+)
+
+func prints(key string) {
+	fmt.Println("hello")                 // line 11: flagged - ad-hoc print
+	fmt.Printf("x=%d\n", 1)              // line 12: flagged - ad-hoc print
+	log.Printf("x=%d", 1)                // line 13: flagged - stdlog
+	log.Fatalf("dead: %d", 1)            // line 14: flagged - stdlog
+	slog.Info("msg")                     // line 15: flagged - ctx-free
+	slog.Error("msg")                    // line 16: flagged - ctx-free
+	ctx := context.Background()
+	slog.InfoContext(ctx, "m", slog.String(key, "v")) // line 18: flagged - computed key
+	slog.InfoContext(ctx, "m", key, 1)                // line 19: flagged - computed key
+	slog.Default().Warn("msg")                        // line 20: flagged - ctx-free method
+	lg := log.New(nil, "", 0)
+	lg.Println("x") // line 22: flagged - stdlog method
+}
+`)
+	got := LogDiscipline{Services: []string{"fixture"}}.Check(pkg)
+	if !sameLines(got, 11, 12, 13, 14, 15, 16, 18, 19, 20, 22) {
+		t.Errorf("log-discipline lines = %v, want [11 12 13 14 15 16 18 19 20 22]", lines(got))
+	}
+}
+
+func TestLogDisciplineCleanShapes(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+)
+
+const sizeKey = "size"
+
+func clean(ctx context.Context, lg *slog.Logger, attrs []any) string {
+	lg.LogAttrs(ctx, slog.LevelInfo, "solve",
+		slog.String("problem", "cube"),
+		slog.Int(sizeKey, 3),
+	)
+	slog.InfoContext(ctx, "warm", "hits", 1, slog.Int("misses", 0), "evictions", 2)
+	slog.WarnContext(ctx, "spread", attrs...)
+	lg.Log(ctx, slog.LevelDebug, "detail", "key", "value")
+	return fmt.Sprintf("x=%d", 1)
+}
+`)
+	if got := (LogDiscipline{Services: []string{"fixture"}}).Check(pkg); len(got) != 0 {
+		t.Errorf("clean fixture flagged: %v", got)
+	}
+}
+
+func TestLogDisciplineScope(t *testing.T) {
+	pkg := checkFixture(t, `package fixture
+
+import "fmt"
+
+func anywhere() {
+	fmt.Println("fine outside the service packages")
+}
+`)
+	if got := (LogDiscipline{}).Check(pkg); len(got) != 0 {
+		t.Errorf("non-service package flagged: %v", got)
+	}
+}

@@ -54,11 +54,12 @@ func (r *ObsDiscipline) Check(pkg *Package) []Issue {
 			}
 			fn := obsCallee(pkg, call)
 			switch fn {
-			case "Register", "NewCounter", "NewGauge", "NewHistogram":
+			case "Register", "NewCounter", "NewGauge", "NewHistogram",
+				"NewCounterVec", "NewHistogramVec":
 			default:
 				return true
 			}
-			if len(call.Args) != 1 {
+			if len(call.Args) < 1 {
 				return true
 			}
 			tv := pkg.Info.Types[call.Args[0]]

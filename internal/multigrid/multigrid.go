@@ -185,6 +185,33 @@ type MG struct {
 	CycleFlops int64
 	// Applies counts preconditioner applications.
 	Applies int
+
+	// task is the request scope cycles are attributed to (nil outside a
+	// served request). An MG instance is leased to exactly one solve at a
+	// time (the serve cache's checkout protocol), so the field needs no
+	// synchronization: SetTask and Apply run on the leasing goroutine.
+	task *obs.Task
+}
+
+// taskSetter is implemented by smoothers that can attribute their sweep
+// work to a request task.
+type taskSetter interface {
+	SetTask(t *obs.Task)
+}
+
+// SetTask attaches a request-scoped obs task to the preconditioner and
+// its level smoothers: every subsequent Apply credits its cycle flops
+// (grid transfers and coarse solves) and V-cycle count to the task, and
+// the smoothers credit their sweep flops likewise. Pass nil to detach
+// before returning a leased instance to its pool. Only valid while the
+// caller holds exclusive use of the instance.
+func (mg *MG) SetTask(t *obs.Task) {
+	mg.task = t
+	for _, l := range mg.Levels {
+		if s, ok := l.Smoother.(taskSetter); ok {
+			s.SetTask(t)
+		}
+	}
 }
 
 // CompressCols removes matrix columns of constrained dofs: full2red maps
@@ -594,10 +621,17 @@ func (mg *MG) fmg(b, x []float64) {
 // Apply implements krylov.Preconditioner: z approximates A⁻¹·r with one
 // multigrid cycle.
 func (mg *MG) Apply(r, z []float64) {
-	sp := obs.Start(evApply)
+	sp := obs.StartTask(evApply, mg.task)
 	cApplies.Inc()
+	f0 := mg.CycleFlops
 	mg.apply(r, z)
-	sp.End()
+	// The cycle-flop delta (transfers, coarse solves, residual matvecs)
+	// is credited to the apply event and, through the span, the request
+	// task. Smoother sweeps record under their own events, so summing
+	// krylov + mg.apply + smooth.* event flops counts each operation
+	// exactly once.
+	sp.EndFlops(mg.CycleFlops - f0)
+	mg.task.AddVCycles(1)
 }
 
 func (mg *MG) apply(r, z []float64) {

@@ -62,3 +62,51 @@ func TestRecordingAllocFreeEnabled(t *testing.T) {
 		Start(allocEv).End()
 	})
 }
+
+// TestTaskRecordingAllocFree locks in the tentpole's overhead contract:
+// crediting spans and counters to a request task allocates nothing per
+// operation, enabled or disabled, so per-request attribution rides the
+// same zero-alloc fast path as the global recorder.
+func TestTaskRecordingAllocFree(t *testing.T) {
+	Disable()
+	Reset()
+	offTask := NewTask("")
+	assertZeroAllocs(t, "task span disabled", func() {
+		sp := StartTask(allocEv, offTask)
+		sp.EndFlops(10)
+	})
+	assertZeroAllocs(t, "task counters disabled", func() {
+		offTask.AddFlops(3)
+		offTask.AddComm(1, 64)
+		offTask.AddVCycles(1)
+	})
+
+	EnableWith(Config{Ranks: 2, RingCap: 1 << 16})
+	defer Disable()
+	task := NewTask("")
+	assertZeroAllocs(t, "task span enabled", func() {
+		sp := StartRankTask(allocEv, 1, task)
+		sp.EndFlops(10)
+	})
+	assertZeroAllocs(t, "task counters enabled", func() {
+		task.AddFlops(3)
+		task.AddComm(1, 64)
+		task.AddVCycles(1)
+	})
+	// Overflow the task ring: further spans drop (counted), still
+	// allocation-free.
+	for i := 0; i < taskRingCap+8; i++ {
+		StartTask(allocEv, task).End()
+	}
+	assertZeroAllocs(t, "task span drop path", func() {
+		StartTask(allocEv, task).End()
+	})
+	if task.Dropped() == 0 {
+		t.Errorf("task ring overflow not counted")
+	}
+	// nil task: the untraced production path.
+	assertZeroAllocs(t, "nil task span", func() {
+		sp := StartTask(allocEv, nil)
+		sp.EndFlops(10)
+	})
+}

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"math/bits"
+	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -80,18 +82,140 @@ func (h *Histogram) Observe(v int64) {
 // Name returns the registered name.
 func (h *Histogram) Name() string { return h.name }
 
+// labelSep joins label values into child map keys. Label values on
+// this registry are protocol tokens (routes, status codes, storage
+// modes), never free text, so the unit separator cannot collide.
+const labelSep = "\x1f"
+
+// CounterVec is a family of counters sharing one name and a fixed
+// label-key set (request totals by route and status). Children are
+// interned on first use; the steady-state update path is one RLock map
+// hit plus the child's atomic add.
+type CounterVec struct {
+	name string
+	keys []string
+	mu   sync.RWMutex
+	kids map[string]*Counter
+}
+
+// Name returns the registered family name.
+func (v *CounterVec) Name() string { return v.name }
+
+// With returns the child counter for the given label values (one per
+// registered key, in key order), creating it on first use. It panics
+// on a value-count mismatch: a short label set would silently merge
+// distinct series.
+func (v *CounterVec) With(vals ...string) *Counter {
+	return v.child(strings.Join(checkLabels(v.name, v.keys, vals), labelSep))
+}
+
+func (v *CounterVec) child(k string) *Counter {
+	v.mu.RLock()
+	c, ok := v.kids[k]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.kids[k]; ok {
+		return c
+	}
+	c = &Counter{name: v.name}
+	v.kids[k] = c
+	return c
+}
+
+// HistogramVec is a family of log2 histograms sharing one name and a
+// fixed label-key set (request latency by route and status).
+type HistogramVec struct {
+	name string
+	keys []string
+	mu   sync.RWMutex
+	kids map[string]*Histogram
+}
+
+// Name returns the registered family name.
+func (v *HistogramVec) Name() string { return v.name }
+
+// With returns the child histogram for the given label values,
+// creating it on first use. Panics on a value-count mismatch.
+func (v *HistogramVec) With(vals ...string) *Histogram {
+	k := strings.Join(checkLabels(v.name, v.keys, vals), labelSep)
+	v.mu.RLock()
+	h, ok := v.kids[k]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.kids[k]; ok {
+		return h
+	}
+	h = &Histogram{name: v.name}
+	v.kids[k] = h
+	return h
+}
+
+func checkLabels(name string, keys, vals []string) []string {
+	if len(vals) != len(keys) {
+		panic("obs: label value count mismatch for metric " + name)
+	}
+	return vals
+}
+
+// labeledName renders a vec child's display name from its joined label
+// values: name{key1="v1",key2="v2"}.
+func labeledName(name string, keys []string, joined string) string {
+	vals := strings.Split(joined, labelSep)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(vals[i])
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortedChildKeys returns map keys in sorted order, so snapshots and
+// exposition render vec children deterministically.
+func sortedChildKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
 var (
-	counters   []*Counter
-	gauges     []*Gauge
-	histograms []*Histogram
-	metricIdx  map[string]int // name -> kind-local index, kind in high bits
+	counters      []*Counter
+	gauges        []*Gauge
+	histograms    []*Histogram
+	counterVecs   []*CounterVec
+	histogramVecs []*HistogramVec
+	metricIdx     map[string]int // name -> kind-local index, kind in high bits
 )
 
 const (
 	kindCounter = iota << 28
 	kindGauge
 	kindHistogram
-	metricKindMask = 3 << 28
+	kindCounterVec
+	kindHistogramVec
+	metricKindMask = 7 << 28
 	metricIdxMask  = 1<<28 - 1
 )
 
@@ -136,6 +260,38 @@ func NewHistogram(name string) *Histogram {
 	return h
 }
 
+// NewCounterVec registers (or returns the existing) labeled counter
+// family under name with the given label keys. Children are created on
+// first With and live for the registry's lifetime, so a steady-state
+// request path costs one map lookup per update — no per-request
+// registration and no formatted metric names (the obs-discipline rule
+// keeps the family name a tree-unique constant; label values may vary).
+func NewCounterVec(name string, keys ...string) *CounterVec {
+	mu.Lock()
+	defer mu.Unlock()
+	if i, ok := metricIdx[name]; ok && i&metricKindMask == kindCounterVec {
+		return counterVecs[i&metricIdxMask]
+	}
+	v := &CounterVec{name: name, keys: append([]string(nil), keys...), kids: make(map[string]*Counter)}
+	registerMetricLocked(name, kindCounterVec|len(counterVecs))
+	counterVecs = append(counterVecs, v)
+	return v
+}
+
+// NewHistogramVec registers (or returns the existing) labeled
+// histogram family under name with the given label keys.
+func NewHistogramVec(name string, keys ...string) *HistogramVec {
+	mu.Lock()
+	defer mu.Unlock()
+	if i, ok := metricIdx[name]; ok && i&metricKindMask == kindHistogramVec {
+		return histogramVecs[i&metricIdxMask]
+	}
+	v := &HistogramVec{name: name, keys: append([]string(nil), keys...), kids: make(map[string]*Histogram)}
+	registerMetricLocked(name, kindHistogramVec|len(histogramVecs))
+	histogramVecs = append(histogramVecs, v)
+	return v
+}
+
 func registerMetricLocked(name string, idx int) {
 	if metricIdx == nil {
 		metricIdx = make(map[string]int)
@@ -154,12 +310,30 @@ func resetMetricsLocked() {
 		g.v.Store(0)
 	}
 	for _, h := range histograms {
-		for i := range h.buckets {
-			h.buckets[i].Store(0)
-		}
-		h.sum.Store(0)
-		h.n.Store(0)
+		resetHistogram(h)
 	}
+	for _, v := range counterVecs {
+		v.mu.Lock()
+		for _, c := range v.kids {
+			c.v.Store(0)
+		}
+		v.mu.Unlock()
+	}
+	for _, v := range histogramVecs {
+		v.mu.Lock()
+		for _, h := range v.kids {
+			resetHistogram(h)
+		}
+		v.mu.Unlock()
+	}
+}
+
+func resetHistogram(h *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.n.Store(0)
 }
 
 // ResidualPoint is one entry of the Krylov convergence history.

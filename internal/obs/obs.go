@@ -198,20 +198,32 @@ type Span struct {
 	id    EventID
 	rank  int32
 	depth int32
+	task  *Task
 }
 
 // Start opens a span for id on rank 0 (the serial/driver rank).
-func Start(id EventID) Span { return StartRank(id, 0) }
+func Start(id EventID) Span { return StartRankTask(id, 0, nil) }
 
 // StartRank opens a span for id attributed to the given rank. Rank
 // goroutines (halo exchange, reducers) use this so the trace timeline
 // and the per-rank stat rows line up with the SPMD decomposition.
-func StartRank(id EventID, rank int) Span {
+func StartRank(id EventID, rank int) Span { return StartRankTask(id, rank, nil) }
+
+// StartTask opens a span on rank 0 additionally attributed to a
+// request task: End credits the global per-rank stats exactly as Start
+// does, and also appends the span (and its flops) to the task. A nil
+// task makes StartTask identical to Start, so instrumented call sites
+// never branch on whether a request scope is present.
+func StartTask(id EventID, t *Task) Span { return StartRankTask(id, 0, t) }
+
+// StartRankTask is StartRank with request-task attribution (see
+// StartTask).
+func StartRankTask(id EventID, rank int, t *Task) Span {
 	if !on.Load() || rank < 0 || rank >= MaxRanks {
 		return Span{rank: -1}
 	}
 	d := depth[rank].Add(1) - 1
-	return Span{start: now(), id: id, rank: int32(rank), depth: d}
+	return Span{start: now(), id: id, rank: int32(rank), depth: d, task: t}
 }
 
 // End closes the span, accumulating its duration and count into the
@@ -234,6 +246,10 @@ func (s Span) end(flops int64) {
 	if flops != 0 {
 		st.flops.Add(flops)
 	}
+	ev := traceEvent{start: s.start, dur: dur, id: s.id, rank: s.rank, depth: s.depth}
+	if s.task != nil {
+		s.task.record(ev, flops)
+	}
 	r := int(s.rank)
 	if r >= len(rings) {
 		dropped[r].Add(1)
@@ -245,7 +261,7 @@ func (s Span) end(flops int64) {
 		dropped[r].Add(1)
 		return
 	}
-	ring[p] = traceEvent{start: s.start, dur: dur, id: s.id, rank: s.rank, depth: s.depth}
+	ring[p] = ev
 }
 
 // AddFlops credits flops to an event on a rank without a span, for

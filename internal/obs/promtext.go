@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric — counters, gauges,
+// labeled vec families, log2 histograms (as cumulative buckets), plus
+// the per-event span stats — in the Prometheus text exposition format
+// (version 0.0.4), the format real scrape fleets consume. Metric names
+// are the registered dotted names sanitized into the prometheus_
+// namespace (serve.http.requests -> prometheus_serve_http_requests);
+// counters gain the conventional _total suffix.
+//
+// This is a report path: it takes the registry lock and may allocate
+// freely. Only recording is allocation-bound.
+func WritePrometheus(w io.Writer) error {
+	mu.Lock()
+	defer mu.Unlock()
+	pw := &promWriter{w: w}
+
+	pw.family(promName("obs.enabled"), "gauge")
+	enabled := int64(0)
+	if on.Load() {
+		enabled = 1
+	}
+	pw.sample(promName("obs.enabled"), "", enabled)
+
+	for _, c := range counters {
+		name := promCounterName(c.name)
+		pw.family(name, "counter")
+		pw.sample(name, "", c.v.Load())
+	}
+	for _, v := range counterVecs {
+		name := promCounterName(v.name)
+		pw.family(name, "counter")
+		v.mu.RLock()
+		for _, k := range sortedChildKeys(v.kids) {
+			pw.sample(name, promLabels(v.keys, k, "", ""), v.kids[k].v.Load())
+		}
+		v.mu.RUnlock()
+	}
+	for _, g := range gauges {
+		name := promName(g.name)
+		pw.family(name, "gauge")
+		pw.sample(name, "", g.v.Load())
+	}
+	for _, h := range histograms {
+		pw.histogram(promName(h.name), "", nil, "", h)
+	}
+	for _, v := range histogramVecs {
+		name := promName(v.name)
+		pw.family(name, "histogram")
+		v.mu.RLock()
+		for _, k := range sortedChildKeys(v.kids) {
+			pw.histogramSeries(name, v.keys, k, v.kids[k])
+		}
+		v.mu.RUnlock()
+	}
+
+	// Per-event span stats, summed across ranks, as labeled counters.
+	evTime := promName("obs.event.time.ns") + "_total"
+	evCount := promName("obs.event.count") + "_total"
+	evFlops := promName("obs.event.flops") + "_total"
+	evMsgs := promName("obs.event.msgs") + "_total"
+	evBytes := promName("obs.event.bytes") + "_total"
+	type evTotals struct {
+		name                           string
+		timeNs, count, fl, msgs, bytes int64
+	}
+	var evs []evTotals
+	for e, name := range names {
+		var t evTotals
+		t.name = name
+		for r := 0; r < MaxRanks; r++ {
+			st := &stats[e][r]
+			t.timeNs += st.timeNs.Load()
+			t.count += st.count.Load()
+			t.fl += st.flops.Load()
+			t.msgs += st.msgs.Load()
+			t.bytes += st.bytes.Load()
+		}
+		if t.count != 0 || t.fl != 0 || t.msgs != 0 {
+			evs = append(evs, t)
+		}
+	}
+	eventKey := []string{"event"}
+	for _, fam := range []struct {
+		name string
+		get  func(evTotals) int64
+	}{
+		{evTime, func(t evTotals) int64 { return t.timeNs }},
+		{evCount, func(t evTotals) int64 { return t.count }},
+		{evFlops, func(t evTotals) int64 { return t.fl }},
+		{evMsgs, func(t evTotals) int64 { return t.msgs }},
+		{evBytes, func(t evTotals) int64 { return t.bytes }},
+	} {
+		pw.family(fam.name, "counter")
+		for _, t := range evs {
+			pw.sample(fam.name, promLabels(eventKey, t.name, "", ""), fam.get(t))
+		}
+	}
+
+	droppedName := promName("obs.dropped.samples") + "_total"
+	pw.family(droppedName, "counter")
+	var drops int64
+	for r := 0; r < MaxRanks; r++ {
+		drops += dropped[r].Load()
+	}
+	pw.sample(droppedName, "", drops)
+
+	return pw.err
+}
+
+// promWriter accumulates exposition lines with a sticky error, so the
+// render loop never branches on write failures.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (pw *promWriter) printf(format string, args ...interface{}) {
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = fmt.Fprintf(pw.w, format, args...)
+}
+
+// family emits the # TYPE header for a metric family.
+func (pw *promWriter) family(name, kind string) {
+	pw.printf("# TYPE %s %s\n", name, kind)
+}
+
+// sample emits one series line. labels is either empty or a rendered
+// {k="v",...} block.
+func (pw *promWriter) sample(name, labels string, v int64) {
+	pw.printf("%s%s %d\n", name, labels, v)
+}
+
+// histogram emits a standalone histogram family (TYPE header plus its
+// single unlabeled series).
+func (pw *promWriter) histogram(name, joined string, keys []string, _ string, h *Histogram) {
+	pw.family(name, "histogram")
+	pw.histogramSeries(name, keys, joined, h)
+}
+
+// histogramSeries renders one histogram's cumulative buckets, sum and
+// count. The log2 buckets convert exactly: internal bucket b counts
+// integer observations v with bit length b, i.e. v in [2^(b-1), 2^b-1]
+// (bucket 0 counts v <= 0), so the cumulative upper bound of bucket b
+// is le="2^b - 1" with no sample ever straddling a boundary.
+func (pw *promWriter) histogramSeries(name string, keys []string, joined string, h *Histogram) {
+	hi := 0
+	for b := histBuckets - 1; b > 0; b-- {
+		if h.buckets[b].Load() != 0 {
+			hi = b
+			break
+		}
+	}
+	var cum int64
+	for b := 0; b <= hi; b++ {
+		cum += h.buckets[b].Load()
+		le := "0"
+		if b > 0 {
+			le = strconv.FormatUint(uint64(1)<<uint(b)-1, 10)
+		}
+		pw.sample(name+"_bucket", promLabels(keys, joined, "le", le), cum)
+	}
+	pw.sample(name+"_bucket", promLabels(keys, joined, "le", "+Inf"), h.n.Load())
+	pw.sample(name+"_sum", promLabels(keys, joined, "", ""), h.sum.Load())
+	pw.sample(name+"_count", promLabels(keys, joined, "", ""), h.n.Load())
+}
+
+// promLabels renders a {k="v",...} label block from a vec child's
+// joined values plus an optional extra label (the histogram le bound).
+// Returns "" when there are no labels at all.
+func promLabels(keys []string, joined, extraKey, extraVal string) string {
+	var vals []string
+	if len(keys) > 0 {
+		vals = strings.Split(joined, labelSep)
+	}
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelKey(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteString(`"`)
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promName sanitizes a dotted registry name into the prometheus_
+// namespace: [a-zA-Z0-9_:] only, everything else becomes '_'.
+func promName(name string) string {
+	return "prometheus_" + promSanitize(name)
+}
+
+// promLabelKey sanitizes a label key: same character set as metric
+// names, but no namespace prefix — label keys stay as declared.
+func promLabelKey(k string) string { return promSanitize(k) }
+
+// promSanitize maps a dotted registry name onto [a-zA-Z0-9_:].
+func promSanitize(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promCounterName renders a counter's exposition name: sanitized, in
+// the prometheus_ namespace, ending in exactly one _total suffix even
+// when the registry name already carries one.
+func promCounterName(name string) string {
+	n := promName(name)
+	if strings.HasSuffix(n, "_total") {
+		return n
+	}
+	return n + "_total"
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}

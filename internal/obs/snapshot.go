@@ -95,6 +95,22 @@ type Profile struct {
 	Dropped int64 `json:"dropped"`
 }
 
+// histogramValue copies one histogram's state under the given display
+// name, reporting ok=false when it recorded nothing.
+func histogramValue(h *Histogram, name string) (HistogramValue, bool) {
+	n := h.n.Load()
+	if n == 0 {
+		return HistogramValue{}, false
+	}
+	hv := HistogramValue{Name: name, Count: n, Sum: h.sum.Load(), Buckets: map[int]int64{}}
+	for b := range h.buckets {
+		if c := h.buckets[b].Load(); c != 0 {
+			hv.Buckets[b] = c
+		}
+	}
+	return hv, true
+}
+
 // Snapshot copies all recorded data into a Profile.
 func Snapshot() *Profile {
 	mu.Lock()
@@ -142,17 +158,27 @@ func Snapshot() *Profile {
 		}
 	}
 	for _, h := range histograms {
-		n := h.n.Load()
-		if n == 0 {
-			continue
+		if hv, ok := histogramValue(h, h.name); ok {
+			p.Histograms = append(p.Histograms, hv)
 		}
-		hv := HistogramValue{Name: h.name, Count: n, Sum: h.sum.Load(), Buckets: map[int]int64{}}
-		for b := range h.buckets {
-			if c := h.buckets[b].Load(); c != 0 {
-				hv.Buckets[b] = c
+	}
+	for _, v := range counterVecs {
+		v.mu.RLock()
+		for _, k := range sortedChildKeys(v.kids) {
+			if val := v.kids[k].Value(); val != 0 {
+				p.Counters = append(p.Counters, MetricValue{Name: labeledName(v.name, v.keys, k), Value: val})
 			}
 		}
-		p.Histograms = append(p.Histograms, hv)
+		v.mu.RUnlock()
+	}
+	for _, v := range histogramVecs {
+		v.mu.RLock()
+		for _, k := range sortedChildKeys(v.kids) {
+			if hv, ok := histogramValue(v.kids[k], labeledName(v.name, v.keys, k)); ok {
+				p.Histograms = append(p.Histograms, hv)
+			}
+		}
+		v.mu.RUnlock()
 	}
 
 	if n := residPos.Load(); n > 0 {

@@ -1,0 +1,55 @@
+package par
+
+import (
+	"context"
+	"testing"
+
+	"prometheus/internal/obs"
+)
+
+// TestRunCtxAttribution checks that RunCtx credits rank flops and
+// modeled traffic to the context task, matching the per-rank counters
+// the run itself reports: with a single tasked run, task totals equal
+// the sum over ranks.
+func TestRunCtxAttribution(t *testing.T) {
+	obs.EnableWith(obs.Config{})
+	defer obs.Disable()
+
+	task := obs.NewTask("")
+	ctx := obs.WithTask(context.Background(), task)
+
+	c := NewComm(4)
+	c.RunCtx(ctx, func(r *Rank) {
+		r.CountFlops(int64(10 * (r.ID() + 1)))
+		next := (r.ID() + 1) % r.Size()
+		prev := (r.ID() + r.Size() - 1) % r.Size()
+		r.Send(next, 7, r.ID(), 8)
+		r.Recv(prev, 7)
+	})
+
+	if got, want := task.Flops(), int64(10+20+30+40); got != want {
+		t.Fatalf("task flops = %d, want %d", got, want)
+	}
+	if got, want := task.Msgs(), int64(4); got != want {
+		t.Fatalf("task msgs = %d, want %d", got, want)
+	}
+	if got, want := task.Bytes(), int64(4*8); got != want {
+		t.Fatalf("task bytes = %d, want %d", got, want)
+	}
+}
+
+// TestRunCtxNoTask checks that a context without a task behaves exactly
+// like Run: no panic, no attribution.
+func TestRunCtxNoTask(t *testing.T) {
+	c := NewComm(2)
+	sum := int64(0)
+	c.RunCtx(context.Background(), func(r *Rank) {
+		r.CountFlops(5)
+		if r.ID() == 0 {
+			sum = 1
+		}
+	})
+	if sum != 1 {
+		t.Fatalf("RunCtx body did not run")
+	}
+}

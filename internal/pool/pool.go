@@ -59,6 +59,9 @@ type job struct {
 	ik     IndexedKernel
 	x, y   []float64
 	lo, hi int
+	// task is the request scope the chunk's work is attributed to (nil
+	// outside a served request). Jobs still travel by value.
+	task *obs.Task
 }
 
 // Pool is a fixed-size set of long-lived workers. The zero value is not
@@ -119,10 +122,11 @@ func (p *Pool) worker(w int) {
 		if check.Enabled {
 			p.own.Claim(w, j.y, j.lo, j.hi)
 		}
-		sp := obs.StartRank(evPoolTask, w)
+		sp := obs.StartRankTask(evPoolTask, w, j.task)
 		j.k.MulVecRange(j.x, j.y, j.lo, j.hi)
 		sp.End()
 		obs.AddCount(evPoolRows, w, int64(j.hi-j.lo))
+		j.task.AddRows(int64(j.hi - j.lo))
 		if check.Enabled {
 			p.own.Release(w)
 		}
@@ -136,7 +140,7 @@ func (p *Pool) worker(w int) {
 // claimed in the ownership table around its apply, so two workers
 // scattering to a shared index panic instead of racing.
 func (p *Pool) runItems(w int, j job) {
-	sp := obs.StartRank(evPoolTask, w)
+	sp := obs.StartRankTask(evPoolTask, w, j.task)
 	for e := j.lo; e < j.hi; e++ {
 		if check.Enabled {
 			p.own.ClaimIndices(w, j.y, j.ik.WriteSet(e))
@@ -148,6 +152,7 @@ func (p *Pool) runItems(w int, j job) {
 	}
 	sp.End()
 	obs.AddCount(evPoolItems, w, int64(j.hi-j.lo))
+	j.task.AddRows(int64(j.hi - j.lo))
 }
 
 // Dispatch partitions [0, n) into contiguous chunks aligned to align
@@ -160,6 +165,14 @@ func (p *Pool) runItems(w int, j job) {
 // a single serial call, which keeps results bitwise identical to the
 // serial kernel for every pool size.
 func (p *Pool) Dispatch(k Kernel, x, y []float64, n, align int) {
+	p.DispatchTask(nil, k, x, y, n, align)
+}
+
+// DispatchTask is Dispatch with request-scoped attribution: the rows
+// each worker executes are additionally credited to the task (nil t is
+// exactly Dispatch). The partition, execution order and results are
+// identical — the task only observes.
+func (p *Pool) DispatchTask(t *obs.Task, k Kernel, x, y []float64, n, align int) {
 	if n <= 0 {
 		return
 	}
@@ -188,7 +201,7 @@ func (p *Pool) Dispatch(k Kernel, x, y []float64, n, align int) {
 		if w == nw-1 {
 			hi = n
 		}
-		p.jobs <- job{k: k, x: x, y: y, lo: lo, hi: hi}
+		p.jobs <- job{k: k, x: x, y: y, lo: lo, hi: hi, task: t}
 		lo = hi
 	}
 	for w := 0; w < nw; w++ {
@@ -207,6 +220,12 @@ func (p *Pool) Dispatch(k Kernel, x, y []float64, n, align int) {
 // disjoint (each y index is written by at most one item, so the partition
 // cannot reorder any index's accumulation).
 func (p *Pool) DispatchIndexed(k IndexedKernel, x, y []float64, m int) {
+	p.DispatchIndexedTask(nil, k, x, y, m)
+}
+
+// DispatchIndexedTask is DispatchIndexed with request-scoped
+// attribution (see DispatchTask).
+func (p *Pool) DispatchIndexedTask(t *obs.Task, k IndexedKernel, x, y []float64, m int) {
 	if m <= 0 {
 		return
 	}
@@ -233,7 +252,7 @@ func (p *Pool) DispatchIndexed(k IndexedKernel, x, y []float64, m int) {
 		if w == nw-1 {
 			hi = m
 		}
-		p.jobs <- job{ik: k, x: x, y: y, lo: lo, hi: hi}
+		p.jobs <- job{ik: k, x: x, y: y, lo: lo, hi: hi, task: t}
 		lo = hi
 	}
 	for w := 0; w < nw; w++ {

@@ -26,6 +26,8 @@ type admission struct {
 	// held counts outstanding acquires, so an unpaired Release is caught
 	// even when the configured limit sits below the channel capacity.
 	held atomic.Int64
+	// waiting counts requests blocked in a wait=true Acquire.
+	waiting atomic.Int64
 }
 
 // newAdmission builds a semaphore with `limit` slots (clamped to
@@ -63,6 +65,10 @@ func (a *admission) Acquire(ctx context.Context, wait bool) error {
 			return ErrBusy
 		}
 	}
+	// Waiting depth is a gauge of current value: entering the blocking
+	// select raises it, leaving (admitted or cancelled) lowers it.
+	gAdmWaiting.Set(a.waiting.Add(1))
+	defer func() { gAdmWaiting.Set(a.waiting.Add(-1)) }()
 	select {
 	case <-a.tokens:
 		a.held.Add(1)

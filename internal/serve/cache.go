@@ -151,12 +151,13 @@ type EntryInfo struct {
 // entry. Eviction is LRU over unreferenced entries, by logical clock (no
 // wall-time dependence).
 type hierCache struct {
-	mu      sync.Mutex
-	max     int
-	clock   uint64
-	entries map[string]*cacheEntry
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	max       int
+	clock     uint64
+	entries   map[string]*cacheEntry
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 func newHierCache(maxEntries int) *hierCache {
@@ -180,8 +181,10 @@ func (c *hierCache) Acquire(key, fp string, g *Geometry, scale float64, opts pro
 		e = &cacheEntry{key: key, fp: fp, mgs: make(chan *multigrid.MG, mgPoolCap)}
 		c.entries[key] = e
 		c.misses++
+		mCacheMisses.Inc()
 	} else {
 		c.hits++
+		mCacheHits.Inc()
 	}
 	e.refs++
 	c.clock++
@@ -241,6 +244,8 @@ func (c *hierCache) evictLocked() {
 			return
 		}
 		delete(c.entries, victim.key)
+		c.evictions++
+		mCacheEvict.Inc()
 	}
 }
 
@@ -252,8 +257,8 @@ func (c *hierCache) sweep() {
 	c.evictLocked()
 }
 
-// snapshot lists entries (sorted by key) plus hit/miss totals.
-func (c *hierCache) snapshot() (infos []EntryInfo, hits, misses int64) {
+// snapshot lists entries (sorted by key) plus hit/miss/eviction totals.
+func (c *hierCache) snapshot() (infos []EntryInfo, hits, misses, evictions int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range c.entries {
@@ -274,5 +279,5 @@ func (c *hierCache) snapshot() (infos []EntryInfo, hits, misses int64) {
 			infos[j], infos[j-1] = infos[j-1], infos[j]
 		}
 	}
-	return infos, c.hits, c.misses
+	return infos, c.hits, c.misses, c.evictions
 }

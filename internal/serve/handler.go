@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"prometheus/internal/krylov"
+	"prometheus/internal/obs"
 )
 
 // SolveRequest is the POST /v1/solve body. Problem and Size select the
@@ -99,6 +102,16 @@ type SolveResponse struct {
 	// return_solution was set.
 	SolutionHash string    `json:"solution_hash"`
 	Solution     []float64 `json:"solution,omitempty"`
+	// TraceID is the request's W3C trace id (also echoed in the
+	// response Traceparent header); the Task* fields are this request's
+	// own attributed work — flops, modeled messages/bytes and V-cycles
+	// credited to exactly this solve, regardless of what other requests
+	// ran concurrently. All zero unless the server runs with -obs.
+	TraceID     string `json:"trace_id,omitempty"`
+	TaskFlops   int64  `json:"task_flops,omitempty"`
+	TaskMsgs    int64  `json:"task_msgs,omitempty"`
+	TaskBytes   int64  `json:"task_bytes,omitempty"`
+	TaskVCycles int64  `json:"task_vcycles,omitempty"`
 	// Error is set when the solve finished abnormally (did not
 	// converge, or the client cancelled mid-stream).
 	Error string `json:"error,omitempty"`
@@ -162,6 +175,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err := s.adm.Acquire(ctx, req.Wait); err != nil {
 		s.rejected.Add(1)
 		if errors.Is(err, ErrBusy) {
+			mShed.Inc()
 			w.Header().Set("Retry-After", "1")
 			failJSON(w, http.StatusServiceUnavailable, err.Error())
 			return
@@ -171,7 +185,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.adm.Release()
 
-	sess := s.sessions.Checkout(req.Problem, req.Size)
+	task := obs.FromContext(ctx)
+	sess := s.sessions.Checkout(req.Problem, req.Size, task)
 	defer s.sessions.Checkin(sess)
 
 	fp := g.Fingerprint(opts.Coarsen)
@@ -184,6 +199,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.cache.Release(entry)
+	if hit {
+		task.AddCacheHit()
+	} else {
+		task.AddCacheMiss()
+	}
 
 	mg, err := entry.Checkout()
 	if err != nil {
@@ -191,6 +211,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer entry.Checkin(mg)
+	// The lease is exclusive until Checkin, so attaching the task is
+	// race-free; detach before the MG returns to the pool. This defer
+	// runs before entry.Checkin's (LIFO), so a pooled MG never carries
+	// a stale task.
+	mg.SetTask(task)
+	defer mg.SetTask(nil)
 
 	resp := SolveResponse{
 		Session:     sess.id,
@@ -201,6 +227,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		CacheHit:    hit,
 		NumDOF:      entry.numDOF,
 		Levels:      entry.levels,
+		TraceID:     task.TraceID(),
 	}
 	if !hit {
 		resp.SetupNs = entry.setupNs
@@ -235,11 +262,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	x := make([]float64, len(entry.fred))
 	t0 := time.Now()
-	res := krylov.FPCGMonitored(entry.kred, entry.fred, x, mg, req.RTol, req.MaxIters, mon)
+	res := krylov.FPCGMonitoredCtx(ctx, entry.kred, entry.fred, x, mg, req.RTol, req.MaxIters, mon)
 	resp.SolveNs = time.Since(t0).Nanoseconds()
 	resp.Iterations = res.Iterations
 	resp.Converged = res.Converged
 	resp.Residuals = res.Residuals
+	resp.TaskFlops = task.Flops()
+	resp.TaskMsgs = task.Msgs()
+	resp.TaskBytes = task.Bytes()
+	resp.TaskVCycles = task.VCycles()
+	mSolves.With(storageLabel(opts.MG.Storage)).Inc()
 
 	if ctx.Err() != nil {
 		s.cancelled.Add(1)
@@ -297,9 +329,10 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 
 // cacheBody is the GET /v1/cache document.
 type cacheBody struct {
-	Entries []EntryInfo `json:"entries"`
-	Hits    int64       `json:"hits"`
-	Misses  int64       `json:"misses"`
+	Entries   []EntryInfo `json:"entries"`
+	Hits      int64       `json:"hits"`
+	Misses    int64       `json:"misses"`
+	Evictions int64       `json:"evictions"`
 }
 
 // handleCache is GET /v1/cache: the hierarchy cache contents and
@@ -309,12 +342,62 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 		failJSON(w, http.StatusMethodNotAllowed, "serve: GET only")
 		return
 	}
-	entries, hits, misses := s.cache.snapshot()
-	body := cacheBody{Entries: entries, Hits: hits, Misses: misses}
+	entries, hits, misses, evictions := s.cache.snapshot()
+	body := cacheBody{Entries: entries, Hits: hits, Misses: misses, Evictions: evictions}
 	if body.Entries == nil {
 		body.Entries = []EntryInfo{}
 	}
 	if err := writeJSON(w, http.StatusOK, body); err != nil {
+		return
+	}
+}
+
+// handleSessionTrace is GET /v1/sessions/{id}/trace: the per-request
+// Chrome trace (chrome://tracing / Perfetto JSON) of one solve — the
+// spans recorded into that request's task ring, not the global ring, so
+// concurrent solves export disjoint traces. Sessions stay fetchable for
+// recentSessionsCap completions after they finish.
+func (s *Server) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		failJSON(w, http.StatusMethodNotAllowed, "serve: GET only")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	idStr, ok := strings.CutSuffix(rest, "/trace")
+	if !ok || idStr == "" || strings.Contains(idStr, "/") {
+		failJSON(w, http.StatusNotFound, "serve: want /v1/sessions/{id}/trace")
+		return
+	}
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		failJSON(w, http.StatusBadRequest, fmt.Sprintf("serve: bad session id %q", idStr))
+		return
+	}
+	sess, found := s.sessions.lookup(id)
+	if !found {
+		failJSON(w, http.StatusNotFound, fmt.Sprintf("serve: unknown session %d", id))
+		return
+	}
+	if sess.task == nil {
+		failJSON(w, http.StatusNotFound, fmt.Sprintf("serve: session %d has no trace", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := sess.task.Profile().WriteChromeTrace(w); err != nil {
+		return
+	}
+}
+
+// handleMetrics is GET /metrics: the whole obs registry — counters,
+// gauges, histograms (as cumulative buckets) and per-event totals — in
+// Prometheus text exposition format 0.0.4, rendered by stdlib code only.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		failJSON(w, http.StatusMethodNotAllowed, "serve: GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w); err != nil {
 		return
 	}
 }

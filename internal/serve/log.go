@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+
+	"prometheus/internal/obs"
+)
+
+// TraceHandler is a slog.Handler decorator that stamps every record
+// whose context carries an obs task with that task's trace id, under
+// the constant "trace_id" key. With it installed, request-path code
+// never threads trace ids by hand: logging through the *Context slog
+// variants (enforced by the log-discipline lint rule) is enough for
+// every line to be correlatable with the request's traceparent.
+type TraceHandler struct {
+	inner slog.Handler
+}
+
+// NewTraceHandler wraps a base handler with trace-id stamping. It is
+// idempotent: an already-wrapped handler is returned unchanged, so a
+// caller-provided logger (promserve wraps its own) composed with the
+// server's unconditional wrap stamps trace_id exactly once.
+func NewTraceHandler(h slog.Handler) *TraceHandler {
+	if th, ok := h.(*TraceHandler); ok {
+		return th
+	}
+	return &TraceHandler{inner: h}
+}
+
+// Enabled implements slog.Handler.
+func (h *TraceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler: it appends the trace_id attribute
+// from the context task, if any, then delegates.
+func (h *TraceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if t := obs.FromContext(ctx); t != nil {
+		rec.AddAttrs(slog.String("trace_id", t.TraceID()))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *TraceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &TraceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h *TraceHandler) WithGroup(name string) slog.Handler {
+	return &TraceHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,30 @@
+package serve
+
+import (
+	"prometheus/internal/obs"
+)
+
+// Service metrics, registered once in the shared obs registry and
+// exposed in Prometheus text format by /metrics (obs.WritePrometheus).
+// Names are tree-unique string constants (obs-discipline); the labeled
+// families carry bounded label sets only — routes are the fixed route
+// table, statuses are HTTP codes, storage modes the four storage kinds —
+// so series cardinality is bounded by construction.
+var (
+	// mHTTPRequests counts requests by route and status code.
+	mHTTPRequests = obs.NewCounterVec("serve.http.requests", "route", "status")
+	// mHTTPLatency distributes request wall time (ns) by route/status.
+	mHTTPLatency = obs.NewHistogramVec("serve.http.request_ns", "route", "status")
+	// mShed counts requests turned away with 503 by admission control.
+	mShed = obs.NewCounter("serve.shed")
+	// gAdmWaiting gauges solve requests currently blocked waiting for an
+	// admission slot (the wait=true queue depth).
+	gAdmWaiting = obs.NewGauge("serve.admission.waiting")
+	// Cache outcome counters, fed by the hierarchy cache at the same
+	// sites that update its JSON totals.
+	mCacheHits   = obs.NewCounter("serve.cache.hits")
+	mCacheMisses = obs.NewCounter("serve.cache.misses")
+	mCacheEvict  = obs.NewCounter("serve.cache.evictions")
+	// mSolves counts completed solves by resolved storage mode.
+	mSolves = obs.NewCounterVec("serve.solve.total", "storage")
+)

@@ -16,6 +16,7 @@ package serve
 
 import (
 	"expvar"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -38,6 +39,10 @@ type Config struct {
 	// SweepInterval is the janitor period for cache eviction and health
 	// bookkeeping (default 30s).
 	SweepInterval time.Duration
+	// Log is the base structured logger (default slog.Default). The
+	// server wraps it with the trace-id handler, so request-path lines
+	// carry the request's trace id automatically.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +68,8 @@ type Server struct {
 	adm      *admission
 	sessions *sessionManager
 	cache    *hierCache
+
+	log *slog.Logger
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -93,11 +100,18 @@ func New(cfg Config) *Server {
 	s.watchdogDump.Store("")
 	s.installWatchdog()
 	obs.PublishExpvar()
+	base := cfg.Log
+	if base == nil {
+		base = slog.Default()
+	}
+	s.log = slog.New(NewTraceHandler(base.Handler()))
 
-	s.mux.HandleFunc("/v1/solve", s.handleSolve)
-	s.mux.HandleFunc("/v1/sessions", s.handleSessions)
-	s.mux.HandleFunc("/v1/cache", s.handleCache)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/solve", s.instrument("/v1/solve", s.handleSolve))
+	s.mux.HandleFunc("/v1/sessions", s.instrument("/v1/sessions", s.handleSessions))
+	s.mux.HandleFunc("/v1/sessions/", s.instrument("/v1/sessions/{id}/trace", s.handleSessionTrace))
+	s.mux.HandleFunc("/v1/cache", s.instrument("/v1/cache", s.handleCache))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -151,9 +165,11 @@ type Health struct {
 	TotalSessions uint64 `json:"total_sessions"`
 	// CacheEntries counts cached hierarchies.
 	CacheEntries int `json:"cache_entries"`
-	// CacheHits and CacheMisses count lifetime cache outcomes.
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
+	// CacheHits, CacheMisses and CacheEvictions count lifetime cache
+	// outcomes.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
 	// Requests counts solve requests received; Rejected those turned
 	// away by admission control; Cancelled those whose client went away
 	// mid-solve.
@@ -168,7 +184,7 @@ type Health struct {
 // health snapshots the service state.
 func (s *Server) health() Health {
 	live, total, _ := s.sessions.snapshot()
-	entries, hits, misses := s.cache.snapshot()
+	entries, hits, misses, evictions := s.cache.snapshot()
 	dump, _ := s.watchdogDump.Load().(string)
 	status := "ok"
 	if dump != "" {
@@ -182,6 +198,7 @@ func (s *Server) health() Health {
 		CacheEntries:   len(entries),
 		CacheHits:      hits,
 		CacheMisses:    misses,
+		CacheEvictions: evictions,
 		Requests:       s.requests.Load(),
 		Rejected:       s.rejected.Load(),
 		Cancelled:      s.cancelled.Load(),

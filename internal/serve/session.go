@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"prometheus/internal/obs"
 )
 
 // SessionInfo is the JSON view of one solve session, live or summarized
@@ -21,6 +23,8 @@ type SessionInfo struct {
 	StartUnixNs int64 `json:"start_unix_ns"`
 	// AgeNs is the session age at snapshot time.
 	AgeNs int64 `json:"age_ns"`
+	// TraceID is the request's W3C trace id.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // session is one checked-out solve in flight.
@@ -29,6 +33,7 @@ type session struct {
 	problem string
 	size    int
 	start   time.Time
+	task    *obs.Task
 
 	mu  sync.Mutex
 	key string
@@ -53,31 +58,40 @@ func (s *session) info(now time.Time) SessionInfo {
 		Key:         key,
 		StartUnixNs: s.start.UnixNano(),
 		AgeNs:       now.Sub(s.start).Nanoseconds(),
+		TraceID:     s.task.TraceID(),
 	}
 }
 
 // sessionManager tracks solves in flight. Checkout registers a session,
 // Checkin retires it; the pair is enforced on all paths by the
 // resource-release rule.
+// recentSessionsCap is the compile-time capacity of the retired-session
+// ring kept for the per-request trace endpoint: a completed solve's
+// trace stays fetchable until recentSessionsCap later solves retire.
+const recentSessionsCap = 64
+
 type sessionManager struct {
-	mu      sync.Mutex
-	next    uint64
-	active  map[uint64]*session
-	total   uint64
-	longest time.Duration
+	mu        sync.Mutex
+	next      uint64
+	active    map[uint64]*session
+	recent    [recentSessionsCap]*session
+	recentPos int
+	total     uint64
+	longest   time.Duration
 }
 
 func newSessionManager() *sessionManager {
 	return &sessionManager{active: make(map[uint64]*session)}
 }
 
-// Checkout registers a new in-flight session.
-func (m *sessionManager) Checkout(problem string, size int) *session {
+// Checkout registers a new in-flight session attributed to the given
+// request task (may be nil outside the instrumented handler path).
+func (m *sessionManager) Checkout(problem string, size int, task *obs.Task) *session {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.next++
 	m.total++
-	s := &session{id: m.next, problem: problem, size: size, start: time.Now()}
+	s := &session{id: m.next, problem: problem, size: size, start: time.Now(), task: task}
 	m.active[s.id] = s
 	return s
 }
@@ -88,9 +102,27 @@ func (m *sessionManager) Checkin(s *session) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.active, s.id)
+	m.recent[m.recentPos] = s
+	m.recentPos = (m.recentPos + 1) % recentSessionsCap
 	if d > m.longest {
 		m.longest = d
 	}
+}
+
+// lookup finds a session by id among the in-flight set and the recent
+// ring, for the per-request trace endpoint.
+func (m *sessionManager) lookup(id uint64) (*session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.active[id]; ok {
+		return s, true
+	}
+	for _, s := range m.recent {
+		if s != nil && s.id == id {
+			return s, true
+		}
+	}
+	return nil, false
 }
 
 // snapshot returns the live sessions (ordered by id) plus lifetime stats.

@@ -57,8 +57,8 @@ func TestAdmissionClampsToCap(t *testing.T) {
 
 func TestSessionManager(t *testing.T) {
 	m := newSessionManager()
-	s1 := m.Checkout("cube", 1)
-	s2 := m.Checkout("cantilever", 2)
+	s1 := m.Checkout("cube", 1, nil)
+	s2 := m.Checkout("cantilever", 2, nil)
 	s1.setKey("k1")
 	live, total, _ := m.snapshot()
 	if len(live) != 2 || total != 2 {
@@ -103,7 +103,7 @@ func TestCacheEvictionLRU(t *testing.T) {
 		}
 		c.Release(e)
 	}
-	infos, hits, misses := c.snapshot()
+	infos, hits, misses, _ := c.snapshot()
 	if len(infos) != 2 {
 		t.Fatalf("cache holds %d entries, want 2 after eviction", len(infos))
 	}
@@ -154,14 +154,14 @@ func TestCachePinnedEntryNotEvicted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	infos, _, _ := c.snapshot()
+	infos, _, _, _ := c.snapshot()
 	if len(infos) != 2 {
 		t.Fatalf("pinned entry evicted: %d entries", len(infos))
 	}
 	c.Release(e1)
 	c.Release(e2)
 	c.sweep()
-	infos, _, _ = c.snapshot()
+	infos, _, _, _ = c.snapshot()
 	if len(infos) != 1 {
 		t.Fatalf("sweep kept %d entries, want 1", len(infos))
 	}

@@ -18,6 +18,7 @@ import (
 // size (locked in by TestParallelJacobiBitwise). Sweeps are
 // allocation-free in steady state.
 type ParallelJacobi struct {
+	taskRef
 	A     sparse.Operator
 	Omega float64
 	p     *pool.Pool
@@ -80,12 +81,12 @@ func NewParallelJacobi(a sparse.Operator, omega float64, p *pool.Pool) *Parallel
 
 // Smooth implements Smoother.
 func (s *ParallelJacobi) Smooth(x, b []float64, n int) {
-	sp := obs.Start(evParJacobi)
+	sp := obs.StartTask(evParJacobi, s.task)
 	f0 := s.flops
 	s.upd.b = b
 	for it := 0; it < n; it++ {
-		s.p.Dispatch(s.A, x, s.work, len(x), s.align)
-		s.p.Dispatch(&s.upd, s.work, x, len(x), 1)
+		s.p.DispatchTask(s.task, s.A, x, s.work, len(x), s.align)
+		s.p.DispatchTask(s.task, &s.upd, s.work, x, len(x), 1)
 		s.flops += s.A.MulVecFlops() + 3*int64(len(x))
 	}
 	s.upd.b = nil

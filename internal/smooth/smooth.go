@@ -31,8 +31,22 @@ type Smoother interface {
 	Flops() int64
 }
 
+// taskRef carries the request-scoped obs task a smoother attributes
+// its sweep work to. Smoothers belong to exactly one MG instance and an
+// MG instance is leased to one solve at a time, so the field is set and
+// read on the leasing goroutine — no synchronization needed.
+type taskRef struct {
+	task *obs.Task
+}
+
+// SetTask attaches (or, with nil, detaches) the request-scoped obs
+// task subsequent sweeps are attributed to. Called by multigrid.SetTask
+// while the owner holds exclusive use of the smoother.
+func (c *taskRef) SetTask(t *obs.Task) { c.task = t }
+
 // Jacobi is (damped) Jacobi: x += ω·D⁻¹·(b - A·x).
 type Jacobi struct {
+	taskRef
 	A     sparse.Operator
 	Omega float64
 	invD  []float64
@@ -56,7 +70,7 @@ func NewJacobi(a sparse.Operator, omega float64) *Jacobi {
 
 // Smooth implements Smoother.
 func (s *Jacobi) Smooth(x, b []float64, n int) {
-	sp := obs.Start(evJacobi)
+	sp := obs.StartTask(evJacobi, s.task)
 	f0 := s.flops
 	for it := 0; it < n; it++ {
 		s.A.Residual(b, x, s.work)
@@ -87,6 +101,7 @@ func (s *Jacobi) Flops() int64 { return s.flops }
 // inverses). Operators without the capability (matrix-free) cannot be
 // Gauss-Seidel smoothed — use Jacobi or Chebyshev there.
 type GaussSeidel struct {
+	taskRef
 	A     sparse.Operator
 	Omega float64
 	Sym   bool
@@ -125,7 +140,7 @@ func (s *GaussSeidel) sweep(x, b []float64, backward bool) {
 
 // Smooth implements Smoother.
 func (s *GaussSeidel) Smooth(x, b []float64, n int) {
-	sp := obs.Start(evGaussSeidel)
+	sp := obs.StartTask(evGaussSeidel, s.task)
 	f0 := s.flops
 	for it := 0; it < n; it++ {
 		s.sweep(x, b, false)
@@ -150,6 +165,7 @@ func (s *GaussSeidel) Flops() int64 { return s.flops }
 // Chebyshev is polynomial smoothing of fixed degree targeting the interval
 // [lmax/alpha, lmax] of the spectrum of D⁻¹A.
 type Chebyshev struct {
+	taskRef
 	A      sparse.Operator
 	Degree int
 	lmin   float64
@@ -204,7 +220,7 @@ func NewChebyshev(a sparse.Operator, degree int, alpha float64) *Chebyshev {
 // Smooth implements Smoother using the standard Chebyshev recurrence on the
 // D⁻¹-preconditioned operator.
 func (s *Chebyshev) Smooth(x, b []float64, n int) {
-	sp := obs.Start(evChebyshev)
+	sp := obs.StartTask(evChebyshev, s.task)
 	f0 := s.flops
 	for it := 0; it < n; it++ {
 		s.apply(x, b)
@@ -258,6 +274,7 @@ func (s *Chebyshev) Flops() int64 { return s.flops }
 // be confused with NodeBlockJacobi, whose blocks are the BxB nodal
 // diagonal blocks of a vector-valued operator.
 type DomainBlockJacobi struct {
+	taskRef
 	A       sparse.Operator
 	blocks  [][]int // dof indices per block
 	chols   []*la.Cholesky
@@ -389,7 +406,7 @@ func (s *DomainBlockJacobi) AutoDamp() {
 // Smooth implements Smoother: x += Omega·M⁻¹(b - A·x) with M the block
 // diagonal.
 func (s *DomainBlockJacobi) Smooth(x, b []float64, n int) {
-	sp := obs.Start(evDomainBJ)
+	sp := obs.StartTask(evDomainBJ, s.task)
 	f0 := s.flops
 	for it := 0; it < n; it++ {
 		s.A.Residual(b, x, s.work)
@@ -449,6 +466,7 @@ func (s *DomainBlockJacobi) NumBlocks() int {
 // state. Contrast DomainBlockJacobi, whose blocks are large graph-
 // partitioned subdomains solved by dense Cholesky.
 type NodeBlockJacobi struct {
+	taskRef
 	A      sparse.Operator // BSR or BSR32 level operator
 	Omega  float64
 	bs, nb int       // block size and block-row count of A
@@ -486,7 +504,7 @@ func NewNodeBlockJacobi(a sparse.Operator, omega float64) (*NodeBlockJacobi, err
 
 // Smooth implements Smoother.
 func (s *NodeBlockJacobi) Smooth(x, b []float64, n int) {
-	sp := obs.Start(evNodeBJ)
+	sp := obs.StartTask(evNodeBJ, s.task)
 	f0 := s.flops
 	s.smooth(x, b, n)
 	sp.EndFlops(s.flops - f0)
@@ -603,6 +621,7 @@ func invertDiagBlocks(blocks []float64, b int) []float64 {
 // stationary sweep. As a preconditioner it is slightly nonlinear, so the
 // outer Krylov method must be flexible (krylov.FPCG).
 type CGSmoother struct {
+	taskRef
 	A     sparse.Operator
 	Inner Smoother
 	Iters int // CG iterations per smoothing step (default 1)
@@ -627,7 +646,7 @@ func NewCGSmoother(a sparse.Operator, inner Smoother, iters int) *CGSmoother {
 // Smooth implements Smoother: n×Iters preconditioned CG iterations
 // continuing from the current x.
 func (s *CGSmoother) Smooth(x, b []float64, n int) {
-	sp := obs.Start(evCG)
+	sp := obs.StartTask(evCG, s.task)
 	f0 := s.flops
 	s.smooth(x, b, n)
 	sp.EndFlops(s.flops - f0)
@@ -681,3 +700,12 @@ func (s *CGSmoother) Apply(r, z []float64) {
 
 // Flops implements Smoother.
 func (s *CGSmoother) Flops() int64 { return s.flops }
+
+// SetTask attaches the request task to the outer iteration and, when
+// the inner smoother supports attribution, forwards it there too.
+func (s *CGSmoother) SetTask(t *obs.Task) {
+	s.taskRef.SetTask(t)
+	if ts, ok := s.Inner.(interface{ SetTask(*obs.Task) }); ok {
+		ts.SetTask(t)
+	}
+}
